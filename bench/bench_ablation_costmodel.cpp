@@ -1,0 +1,54 @@
+// Ablation (beyond the paper): sensitivity of the model ranking to the
+// network cost parameters. Sweeps (a) the per-message send overhead that
+// penalizes unaggregated Send-Recv and (b) the per-neighbor collective
+// cost that penalizes dense process topologies — showing where each
+// model's win comes from, and that the paper's conclusions are stable
+// bands rather than knife-edge artifacts.
+#include "common.hpp"
+
+using namespace mel;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", 0));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 64));
+  const graph::VertexId n = graph::VertexId{1} << (14 + scale);
+  const auto g = gen::stochastic_block(n, n * 24, 32, 0.6, 1);
+
+  std::printf("== Ablation A: NSR per-message overhead (o_send, ns) ==\n\n");
+  util::Table a({"o_send", "NSR(s)", "RMA(s)", "NCL(s)", "NSR/NCL"});
+  for (const sim::Time o_send : {100, 200, 400, 800, 1600}) {
+    match::RunConfig cfg;
+    cfg.net.o_send = o_send;
+    double t[3];
+    int i = 0;
+    for (const auto model : bench::kAllModels) {
+      t[i++] = match::run_match(g, ranks, model, cfg).seconds();
+    }
+    a.add_row({std::to_string(o_send), util::fmt_double(t[0], 4),
+               util::fmt_double(t[1], 4), util::fmt_double(t[2], 4),
+               bench::fmt_speedup(t[0], t[2])});
+  }
+  bench::emit(cli, a);
+
+  std::printf("\n== Ablation B: per-neighbor collective cost "
+              "(o_coll_per_neighbor, ns) on a dense topology ==\n\n");
+  util::Table b({"per-neighbor", "NSR(s)", "RMA(s)", "NCL(s)", "NSR/NCL"});
+  for (const sim::Time c : {0, 100, 400, 1600, 6400}) {
+    match::RunConfig cfg;
+    cfg.net.o_coll_per_neighbor = c;
+    double t[3];
+    int i = 0;
+    for (const auto model : bench::kAllModels) {
+      t[i++] = match::run_match(g, ranks, model, cfg).seconds();
+    }
+    b.add_row({std::to_string(c), util::fmt_double(t[0], 4),
+               util::fmt_double(t[1], 4), util::fmt_double(t[2], 4),
+               bench::fmt_speedup(t[0], t[2])});
+  }
+  bench::emit(cli, b);
+  std::printf("\nreading: NSR's deficit scales with per-message cost; "
+              "NCL/RMA's advantage erodes as dense-neighborhood collective "
+              "costs grow — the two levers behind Figs 4a-4c.\n");
+  return 0;
+}

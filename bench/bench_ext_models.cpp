@@ -1,0 +1,68 @@
+// Extension study (the paper's flagged future work, implemented): compare
+// all seven communication models —
+//   NSR, RMA, NCL, MBP            (the paper's four)
+//   NSR-AGG                       (Send-Recv + per-neighbor aggregation)
+//   RMA-FENCE                     (active-target epochs)
+//   NCL-NB                        (nonblocking neighborhood collectives)
+// on one input per structural regime.
+#include "common.hpp"
+
+using namespace mel;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int scale = static_cast<int>(cli.get_int("scale", 0));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 64));
+
+  struct Inst {
+    std::string name;
+    graph::Csr g;
+  };
+  std::vector<Inst> instances;
+  {
+    const graph::VertexId n = graph::VertexId{1} << (16 + scale);
+    instances.push_back({"RGG (bounded nbhd)",
+                         gen::random_geometric(
+                             n, gen::rgg_radius_for_degree(n, 24.0), 1)});
+  }
+  {
+    const graph::VertexId n = graph::VertexId{1} << (14 + scale);
+    instances.push_back(
+        {"SBP (dense nbhd)", gen::stochastic_block(n, n * 24, 32, 0.6, 1)});
+  }
+  {
+    const graph::VertexId n = graph::VertexId{1} << (15 + scale);
+    instances.push_back({"Orkut-like (power law)",
+                         gen::chung_lu(n, n * 30, 2.4, 1)});
+  }
+
+  const std::vector<match::Model> models = {
+      match::Model::kNsr,    match::Model::kNsrAgg,   match::Model::kMbp,
+      match::Model::kRma,    match::Model::kRmaFence, match::Model::kNcl,
+      match::Model::kNclNb};
+
+  for (const auto& inst : instances) {
+    std::printf("== %s, |E|=%s, p=%d ==\n\n", inst.name.c_str(),
+                util::fmt_si(static_cast<double>(inst.g.nedges())).c_str(),
+                ranks);
+    util::Table table({"model", "time(s)", "vs NSR", "rounds/batches"});
+    double base = 0.0;
+    for (const auto model : models) {
+      const auto run = bench::run_verified(inst.g, ranks, model);
+      if (model == match::Model::kNsr) base = run.seconds();
+      table.add_row({match::model_name(model),
+                     util::fmt_double(run.seconds(), 4),
+                     bench::fmt_speedup(base, run.seconds()),
+                     std::to_string(run.iterations)});
+    }
+    bench::emit(cli, table);
+    std::printf("\n");
+  }
+  std::printf(
+      "reading: aggregation recovers most of NSR's deficit (the paper's\n"
+      "flagged optimization); NCL-NB shaves the per-round count exchange\n"
+      "off NCL; active-target RMA ties passive RMA on sparse topologies\n"
+      "and wins on dense ones, where a log(p) fence epoch is cheaper than\n"
+      "a pairwise neighbor_alltoall over ~p neighbors.\n");
+  return 0;
+}

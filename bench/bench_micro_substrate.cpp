@@ -1,0 +1,111 @@
+// Google-benchmark microbenchmarks of the simulation substrate itself:
+// host-side throughput of the event loop, point-to-point messaging,
+// neighborhood collectives, and the end-to-end matcher. These guard
+// against host-performance regressions (the table/figure benches above
+// measure *simulated* time; these measure wall time per simulated op).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "mel/mpi/machine.hpp"
+
+using namespace mel;
+
+namespace {
+
+void BM_EventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s(1);
+    const int n = static_cast<int>(state.range(0));
+    int sink = 0;
+    for (int i = 0; i < n; ++i) {
+      s.schedule(i, [&sink] { ++sink; });
+    }
+    struct Noop {
+      static sim::RankTask make() { co_return; }
+    };
+    s.spawn(0, Noop::make());
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventLoop)->Arg(1 << 10)->Arg(1 << 14);
+
+sim::RankTask pingpong(mpi::Comm& c, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    if (c.rank() == 0) {
+      c.isend_pod<int>(1, 0, i);
+      (void)co_await c.recv(1, 0);
+    } else {
+      (void)co_await c.recv(0, 0);
+      c.isend_pod<int>(0, 0, i);
+    }
+  }
+  co_return;
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s(2);
+    mpi::Machine m(s, net::Network(2, net::Params{}));
+    for (sim::Rank r = 0; r < 2; ++r) s.spawn(r, pingpong(m.comm(r), rounds));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_PingPong)->Arg(1 << 10);
+
+sim::RankTask ncl_rounds(mpi::Comm& c, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    std::vector<std::int64_t> vals(c.neighbors().size(), i);
+    (void)co_await c.neighbor_alltoall_i64(vals);
+  }
+  co_return;
+}
+
+void BM_NeighborAlltoall(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s(p);
+    net::Params np;
+    mpi::Machine m(s, net::Network(p, np));
+    for (sim::Rank r = 0; r < p; ++r) {
+      std::vector<sim::Rank> nbrs;
+      for (sim::Rank x = 0; x < p; ++x) {
+        if (x != r) nbrs.push_back(x);
+      }
+      m.set_topology(r, std::move(nbrs));
+    }
+    for (sim::Rank r = 0; r < p; ++r) s.spawn(r, ncl_rounds(m.comm(r), 32));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * p);
+}
+BENCHMARK(BM_NeighborAlltoall)->Arg(8)->Arg(32);
+
+void BM_SerialMatch(benchmark::State& state) {
+  const auto g = gen::rmat(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::serial_half_approx(g).weight);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nedges());
+}
+BENCHMARK(BM_SerialMatch)->Arg(12)->Arg(14);
+
+void BM_DistMatchEndToEnd(benchmark::State& state) {
+  const auto g = gen::rmat(12, 16, 7);
+  const auto model = static_cast<match::Model>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::run_match(g, 32, model).time);
+  }
+  state.SetItemsProcessed(state.iterations() * g.nedges());
+}
+BENCHMARK(BM_DistMatchEndToEnd)
+    ->Arg(static_cast<int>(match::Model::kNsr))
+    ->Arg(static_cast<int>(match::Model::kRma))
+    ->Arg(static_cast<int>(match::Model::kNcl));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,267 @@
+#include "mel/color/color.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+#include "mel/mpi/machine.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::color {
+
+using graph::Distribution;
+using graph::LocalGraph;
+using match::Model;
+using sim::Rank;
+
+std::uint64_t priority(VertexId v) {
+  return util::hash64(static_cast<std::uint64_t>(v) ^ 0xc01057a1c0105ULL);
+}
+
+namespace {
+
+/// Strict "u dominates v" order: higher priority first, id as tiebreak.
+bool dominates(VertexId u, VertexId v) {
+  const auto pu = priority(u), pv = priority(v);
+  return pu != pv ? pu > pv : u > v;
+}
+
+/// Smallest color not used in `used` (which must be sorted).
+std::int64_t mex(std::vector<std::int64_t>& used) {
+  std::sort(used.begin(), used.end());
+  std::int64_t c = 0;
+  for (const auto u : used) {
+    if (u == c) {
+      ++c;
+    } else if (u > c) {
+      break;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> serial_jp_coloring(const Csr& g) {
+  std::vector<VertexId> order(static_cast<std::size_t>(g.nverts()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), dominates);
+  std::vector<std::int64_t> colors(static_cast<std::size_t>(g.nverts()), -1);
+  std::vector<std::int64_t> used;
+  for (const VertexId v : order) {
+    used.clear();
+    for (const graph::Adj& a : g.neighbors(v)) {
+      if (colors[a.to] >= 0) used.push_back(colors[a.to]);
+    }
+    colors[v] = mex(used);
+  }
+  return colors;
+}
+
+bool is_proper_coloring(const Csr& g, const std::vector<std::int64_t>& colors) {
+  if (static_cast<VertexId>(colors.size()) != g.nverts()) return false;
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    if (colors[v] < 0) return false;
+    for (const graph::Adj& a : g.neighbors(v)) {
+      if (colors[a.to] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t color_count(const std::vector<std::int64_t>& colors) {
+  std::set<std::int64_t> distinct(colors.begin(), colors.end());
+  return static_cast<std::int64_t>(distinct.size());
+}
+
+namespace {
+
+struct ColorMsg {
+  VertexId v = -1;
+  std::int64_t color = -1;
+};
+
+constexpr int kTagCount = 200;
+constexpr int kTagColor = 201;
+
+/// Per-rank Jones-Plassmann state shared by both backends.
+struct JpState {
+  const LocalGraph& lg;
+  std::vector<std::int64_t> colors;  // per local vertex
+  std::unordered_map<VertexId, std::int64_t> ghost_colors;
+  std::int64_t uncolored;
+
+  explicit JpState(const LocalGraph& local)
+      : lg(local),
+        colors(static_cast<std::size_t>(local.nlocal()), -1),
+        uncolored(local.nlocal()) {}
+
+  std::int64_t known_color(VertexId u) const {
+    if (lg.owns(u)) return colors[u - lg.vbegin];
+    const auto it = ghost_colors.find(u);
+    return it == ghost_colors.end() ? -1 : it->second;
+  }
+
+  /// One round: color eligible vertices until a local fixpoint (a vertex
+  /// colored in a pass can unblock lower-priority local neighbors in the
+  /// same round). Appends (owner-deduped) updates for ghosts' owners.
+  void sweep(mpi::Comm& comm, std::vector<std::pair<Rank, ColorMsg>>& out,
+             const Distribution& dist) {
+    std::vector<std::int64_t> used;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (VertexId v = lg.vbegin; v < lg.vend; ++v) {
+        const VertexId lv = v - lg.vbegin;
+        if (colors[lv] >= 0) continue;
+        bool ready = true;
+        used.clear();
+        comm.compute_edges(lg.offsets[lv + 1] - lg.offsets[lv]);
+        for (graph::EdgeId i = lg.offsets[lv]; i < lg.offsets[lv + 1]; ++i) {
+          const VertexId u = lg.adj[i].to;
+          const std::int64_t cu = known_color(u);
+          if (dominates(u, v)) {
+            if (cu < 0) {
+              ready = false;
+              break;
+            }
+            used.push_back(cu);
+          }
+        }
+        if (!ready) continue;
+        colors[lv] = mex(used);
+        --uncolored;
+        progressed = true;
+        // Tell each distinct neighboring owner about the new color.
+        std::set<Rank> told;
+        for (graph::EdgeId i = lg.offsets[lv]; i < lg.offsets[lv + 1]; ++i) {
+          const VertexId u = lg.adj[i].to;
+          if (lg.owns(u)) continue;
+          const Rank owner = dist.owner(u);
+          if (!told.insert(owner).second) continue;
+          out.push_back({owner, ColorMsg{v, colors[lv]}});
+        }
+      }
+    }
+  }
+
+  void apply(const ColorMsg& m) { ghost_colors[m.v] = m.color; }
+};
+
+sim::RankTask jp_nsr(mpi::Comm& comm, const LocalGraph& lg,
+                     const Distribution& dist,
+                     std::vector<std::int64_t>* colors_out,
+                     std::int64_t* rounds_out) {
+  JpState st(lg);
+  const std::size_t deg = lg.neighbor_ranks.size();
+  std::int64_t rounds = 0;
+  for (;;) {
+    ++rounds;
+    std::vector<std::pair<Rank, ColorMsg>> updates;
+    st.sweep(comm, updates, dist);
+    std::vector<std::int64_t> counts(deg, 0);
+    for (const auto& [dst, msg] : updates) {
+      ++counts[static_cast<std::size_t>(lg.neighbor_index(dst))];
+    }
+    for (std::size_t k = 0; k < deg; ++k) {
+      comm.isend_pod<std::int64_t>(lg.neighbor_ranks[k], kTagCount, counts[k]);
+    }
+    for (const auto& [dst, msg] : updates) {
+      comm.isend_pod<ColorMsg>(dst, kTagColor, msg);
+    }
+    std::int64_t expected = 0;
+    for (std::size_t k = 0; k < deg; ++k) {
+      const auto m = co_await comm.recv(lg.neighbor_ranks[k], kTagCount);
+      expected += mpi::from_bytes<std::int64_t>(m.data);
+    }
+    for (std::int64_t i = 0; i < expected; ++i) {
+      const auto m = co_await comm.recv(mpi::kAnySource, kTagColor);
+      st.apply(mpi::from_bytes<ColorMsg>(m.data));
+    }
+    const auto remaining = co_await comm.allreduce_sum(st.uncolored);
+    if (remaining == 0) break;
+  }
+  *colors_out = std::move(st.colors);
+  *rounds_out = rounds;
+  co_return;
+}
+
+sim::RankTask jp_ncl(mpi::Comm& comm, const LocalGraph& lg,
+                     const Distribution& dist,
+                     std::vector<std::int64_t>* colors_out,
+                     std::int64_t* rounds_out) {
+  JpState st(lg);
+  const std::size_t deg = lg.neighbor_ranks.size();
+  std::int64_t rounds = 0;
+  for (;;) {
+    ++rounds;
+    std::vector<std::pair<Rank, ColorMsg>> updates;
+    st.sweep(comm, updates, dist);
+    std::vector<std::vector<std::byte>> slices(deg);
+    std::vector<std::int64_t> counts(deg, 0);
+    for (const auto& [dst, msg] : updates) {
+      const auto k = static_cast<std::size_t>(lg.neighbor_index(dst));
+      const auto bytes = mpi::bytes_of(msg);
+      slices[k].insert(slices[k].end(), bytes.begin(), bytes.end());
+      ++counts[k];
+    }
+    (void)co_await comm.neighbor_alltoall_i64(counts);
+    const auto incoming = co_await comm.neighbor_alltoallv(std::move(slices));
+    for (const auto& slice : incoming) {
+      const std::size_t n = mpi::record_count<ColorMsg>(slice);
+      for (std::size_t i = 0; i < n; ++i) {
+        st.apply(mpi::nth_record<ColorMsg>(slice, i));
+      }
+    }
+    const auto remaining = co_await comm.allreduce_sum(st.uncolored);
+    if (remaining == 0) break;
+  }
+  *colors_out = std::move(st.colors);
+  *rounds_out = rounds;
+  co_return;
+}
+
+}  // namespace
+
+ColorResult run_coloring(const Csr& g, int nranks, Model model,
+                         const match::RunConfig& cfg) {
+  if (model != Model::kNsr && model != Model::kNcl) {
+    throw std::invalid_argument("run_coloring: only NSR and NCL supported");
+  }
+  const graph::DistGraph dg(g, nranks);
+  sim::Simulator simulator(nranks);
+  mpi::Machine machine(simulator, net::Network(nranks, cfg.net));
+  for (Rank r = 0; r < nranks; ++r) {
+    machine.set_topology(r, dg.local(r).neighbor_ranks);
+  }
+  machine.validate_topology();
+
+  std::vector<std::vector<std::int64_t>> colors(nranks);
+  std::vector<std::int64_t> rounds(nranks, 0);
+  for (Rank r = 0; r < nranks; ++r) {
+    if (model == Model::kNsr) {
+      simulator.spawn(r, jp_nsr(machine.comm(r), dg.local(r), dg.dist(),
+                                &colors[r], &rounds[r]));
+    } else {
+      simulator.spawn(r, jp_ncl(machine.comm(r), dg.local(r), dg.dist(),
+                                &colors[r], &rounds[r]));
+    }
+  }
+  simulator.run();
+
+  ColorResult result;
+  result.colors.assign(static_cast<std::size_t>(g.nverts()), -1);
+  for (Rank r = 0; r < nranks; ++r) {
+    const VertexId base = dg.local(r).vbegin;
+    for (std::size_t i = 0; i < colors[r].size(); ++i) {
+      result.colors[static_cast<std::size_t>(base) + i] = colors[r][i];
+    }
+    result.rounds = std::max(result.rounds, rounds[r]);
+  }
+  result.time = simulator.max_rank_time();
+  result.totals = machine.total_counters();
+  return result;
+}
+
+}  // namespace mel::color

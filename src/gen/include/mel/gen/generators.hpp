@@ -1,0 +1,93 @@
+// Synthetic graph generators covering every dataset family in the paper's
+// Table II (scaled down; see DESIGN.md §2 for the substitution argument):
+//
+//   random_geometric  - RGG (paper: 6.6-27.7B edges). Points sorted by x
+//                       coordinate, so a 1D block distribution gives each
+//                       rank at most two process neighbors - the property
+//                       the paper engineered its distributed RGG to have.
+//   rmat              - Graph500 R-MAT (a=.57 b=.19 c=.19 d=.05).
+//   stochastic_block  - degree-corrected-SBM-flavored "HILO" stand-in:
+//                       high overlap, low block sizes -> dense process
+//                       graph (Table III: dmax = davg = p-1).
+//   chung_lu          - power-law stand-in for Orkut/Friendster.
+//   grid_of_grids     - protein k-mer stand-in: densely packed grids of
+//                       different sizes.
+//   banded            - Cage15-like: bounded-bandwidth sparse matrix.
+//   stencil3d         - HV15R-like: 3D 27-point CFD stencil, natural order.
+//   erdos_renyi       - uniform random baseline.
+//   path / grid2d     - pathological equal-weight instances (tie-breaking).
+//
+// Unless a generator documents otherwise, edge weights are i.i.d. uniform
+// in (0, 1], drawn deterministically from the seed, and all weights are
+// distinct with overwhelming probability (making the half-approximation's
+// locally-dominant matching unique - the cross-backend test invariant).
+#pragma once
+
+#include <cstdint>
+
+#include "mel/graph/csr.hpp"
+
+namespace mel::gen {
+
+using graph::Csr;
+using graph::EdgeId;
+using graph::VertexId;
+
+/// Random geometric graph: n points in the unit square, edge iff distance
+/// <= radius. Vertex ids ordered by x coordinate (strip locality).
+Csr random_geometric(VertexId n, double radius, std::uint64_t seed);
+
+/// Radius giving an expected average degree `deg` for n points.
+double rgg_radius_for_degree(VertexId n, double deg);
+
+/// Graph500 R-MAT: 2^scale vertices, edge_factor * 2^scale edges before
+/// dedup. `permute` shuffles vertex ids (Graph500 behaviour).
+Csr rmat(int scale, int edge_factor, std::uint64_t seed, bool permute = true,
+         double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Stochastic block partition stand-in: `blocks` equal-size blocks;
+/// `overlap` in [0,1] is the fraction of edges drawn uniformly across all
+/// pairs (high overlap -> every pair of ranks communicates).
+Csr stochastic_block(VertexId n, EdgeId edges, int blocks, double overlap,
+                     std::uint64_t seed);
+
+/// Chung-Lu power-law graph with exponent `gamma` (typically 2.1-2.5) and
+/// ~`edges` edges; ids shuffled (no locality, like social networks).
+Csr chung_lu(VertexId n, EdgeId edges, double gamma, std::uint64_t seed);
+
+/// Union of 2D grid components with side lengths drawn from
+/// [side_min, side_max], ids contiguous per component, until ~n vertices.
+/// `disperse` relocates ~that fraction of vertex ids to random positions,
+/// modelling the residual out-of-order layout of assembled k-mer graphs
+/// (sparse traffic over wide process neighborhoods — RMA's best case).
+Csr grid_of_grids(VertexId n, VertexId side_min, VertexId side_max,
+                  std::uint64_t seed, double disperse = 0.0);
+
+/// Bounded-bandwidth random graph: each vertex gets ~deg edges to targets
+/// within +/- band of its id.
+Csr banded(VertexId n, int deg, VertexId band, std::uint64_t seed);
+
+/// 3D 27-point stencil on an nx x ny x nz grid (natural ordering), with
+/// `keep` probability per off-center edge (irregularity).
+Csr stencil3d(VertexId nx, VertexId ny, VertexId nz, double keep,
+              std::uint64_t seed);
+
+/// Uniform random graph with ~`edges` edges.
+Csr erdos_renyi(VertexId n, EdgeId edges, std::uint64_t seed);
+
+/// Barabási-Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices with probability proportional to degree.
+/// Power-law degrees with a structural (not sampled) hub backbone.
+Csr barabasi_albert(VertexId n, int m, std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring lattice of degree `k` (even) with
+/// rewiring probability `beta`. Locality plus a few long-range shortcuts.
+Csr watts_strogatz(VertexId n, int k, double beta, std::uint64_t seed);
+
+/// Path 0-1-2-...-(n-1); all weights 1.0 (pathological tie-breaking case).
+Csr path(VertexId n);
+
+/// nx x ny 2D grid, all weights 1.0 (pathological tie-breaking case).
+Csr grid2d(VertexId nx, VertexId ny);
+
+}  // namespace mel::gen

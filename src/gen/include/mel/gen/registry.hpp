@@ -1,0 +1,29 @@
+// Dataset registry mirroring the paper's Table II, scaled for simulation.
+// Each entry is a named, seeded, lazily-built graph; benches iterate this
+// registry so every experiment names inputs consistently.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mel/gen/generators.hpp"
+
+namespace mel::gen {
+
+struct Dataset {
+  std::string id;        // e.g. "RGG-A", "RMAT-15", "Friendster-like"
+  std::string category;  // paper's Table II category
+  std::function<Csr()> build;
+};
+
+/// All dataset families from Table II at a size controlled by `scale`
+/// (scale 0 = the default bench size, each +1 doubles vertices/edges,
+/// negative shrinks). Deterministic for a fixed (scale, seed).
+std::vector<Dataset> table2_datasets(int scale = 0, std::uint64_t seed = 1);
+
+/// Look up a single dataset by id (throws std::out_of_range if unknown).
+Dataset find_dataset(const std::string& id, int scale = 0,
+                     std::uint64_t seed = 1);
+
+}  // namespace mel::gen

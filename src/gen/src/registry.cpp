@@ -1,0 +1,97 @@
+#include "mel/gen/registry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mel::gen {
+
+namespace {
+VertexId scaled(VertexId base, int scale) {
+  if (scale >= 0) return base << scale;
+  return std::max<VertexId>(64, base >> (-scale));
+}
+}  // namespace
+
+std::vector<Dataset> table2_datasets(int scale, std::uint64_t seed) {
+  std::vector<Dataset> out;
+
+  // Random geometric graphs (paper: 3 sizes, avg degree ~25).
+  for (int k = 0; k < 3; ++k) {
+    const VertexId n = scaled(VertexId{1} << (15 + k), scale);
+    out.push_back(Dataset{
+        "RGG-" + std::string(1, static_cast<char>('A' + k)),
+        "Random geometric graphs (RGG)",
+        [n, seed] {
+          return random_geometric(n, rgg_radius_for_degree(n, 24.0), seed);
+        }});
+  }
+
+  // Graph500 R-MAT, four scales (paper: 21-24; ours shifted down).
+  for (int s = 13; s <= 16; ++s) {
+    const int sc = s + scale;
+    out.push_back(Dataset{"RMAT-" + std::to_string(sc), "Graph500 R-MAT",
+                          [sc, seed] { return rmat(sc, 16, seed); }});
+  }
+
+  // Stochastic block partitioned (HILO), three sizes.
+  for (int k = 0; k < 3; ++k) {
+    const VertexId n = scaled(VertexId{1} << (14 + k), scale);
+    out.push_back(Dataset{"HILO-" + std::to_string(k + 1),
+                          "Stochastic block partitioned",
+                          [n, seed] {
+                            return stochastic_block(n, n * 24, 32, 0.6, seed);
+                          }});
+  }
+
+  // Protein k-mer stand-ins (paper: V2a, U1a, P1a, V1r). The slight id
+  // dispersion models assembly output order; see grid_of_grids docs.
+  const char* kmer_names[] = {"V2a-like", "U1a-like", "P1a-like", "V1r-like"};
+  for (int k = 0; k < 4; ++k) {
+    const VertexId n = scaled(VertexId{1} << (15 + k / 2), scale);
+    const VertexId lo = 4 + 2 * k, hi = 16 + 6 * k;
+    const double disperse = 0.02 + 0.01 * k;
+    out.push_back(Dataset{kmer_names[k], "Protein K-mer",
+                          [n, lo, hi, seed, k, disperse] {
+                            return grid_of_grids(n, lo, hi, seed + k, disperse);
+                          }});
+  }
+
+  // DNA electrophoresis stand-in (Cage15-like: bounded bandwidth).
+  {
+    const VertexId n = scaled(VertexId{1} << 15, scale);
+    out.push_back(Dataset{"Cage15-like", "DNA", [n, seed] {
+                            return banded(n, 38, n / 64, seed);
+                          }});
+  }
+
+  // CFD stand-in (HV15R-like: 3D 27-point stencil).
+  {
+    const VertexId side = scaled(32, scale > 0 ? scale / 3 : scale);
+    out.push_back(Dataset{"HV15R-like", "CFD", [side, seed] {
+                            return stencil3d(side, side, side, 0.9, seed);
+                          }});
+  }
+
+  // Social networks (power-law).
+  {
+    const VertexId n1 = scaled(VertexId{1} << 15, scale);
+    out.push_back(Dataset{"Orkut-like", "Social networks", [n1, seed] {
+                            return chung_lu(n1, n1 * 39, 2.4, seed);
+                          }});
+    const VertexId n2 = scaled(VertexId{1} << 17, scale);
+    out.push_back(Dataset{"Friendster-like", "Social networks", [n2, seed] {
+                            return chung_lu(n2, n2 * 27, 2.3, seed + 1);
+                          }});
+  }
+
+  return out;
+}
+
+Dataset find_dataset(const std::string& id, int scale, std::uint64_t seed) {
+  for (auto& d : table2_datasets(scale, seed)) {
+    if (d.id == id) return d;
+  }
+  throw std::out_of_range("unknown dataset id: " + id);
+}
+
+}  // namespace mel::gen

@@ -1,0 +1,52 @@
+// Statistics the paper reports about distributions and process topologies
+// (Tables III, IV, V, VI) plus adjacency "spy plot" rendering (Fig 7).
+#pragma once
+
+#include <string>
+
+#include "mel/graph/dist.hpp"
+
+namespace mel::graph {
+
+/// Process-graph (neighborhood topology) statistics: Tables III, IV, VI.
+struct ProcessGraphStats {
+  int nranks = 0;
+  std::int64_t ep_edges = 0;  // |Ep|: undirected process-graph edges
+  std::int64_t dmax = 0;      // max node degree
+  double davg = 0.0;          // average node degree
+  double dsigma = 0.0;        // standard deviation of node degrees
+};
+
+ProcessGraphStats process_graph_stats(const DistGraph& dg);
+
+/// Ghost-augmented edge statistics: Table V. |E'| counts each rank's local
+/// adjacency entries' undirected edges including edges to ghosts, so cross
+/// edges contribute to both endpoint ranks.
+struct EdgePrimeStats {
+  std::int64_t total = 0;  // sum over ranks of per-rank |E'|
+  std::int64_t max = 0;    // max per-rank |E'|
+  double avg = 0.0;
+  double sigma = 0.0;
+};
+
+EdgePrimeStats edge_prime_stats(const DistGraph& dg);
+
+/// Degree statistics of the input graph itself.
+struct DegreeStats {
+  EdgeId dmax = 0;
+  double davg = 0.0;
+  double dsigma = 0.0;
+};
+
+DegreeStats degree_stats(const Csr& g);
+
+/// ASCII "spy plot" of the adjacency matrix, downsampled to `cells` x
+/// `cells` characters; density shown as ' ', '.', ':', 'o', '#'. Fig 7.
+std::string render_spy(const Csr& g, int cells = 48);
+
+/// ASCII heatmap of a communication matrix (values downsampled to
+/// `cells` x `cells`, log-scaled). Figs 2, 9, 11.
+std::string render_heatmap(const std::vector<std::uint64_t>& row_major,
+                           int n, int cells = 32);
+
+}  // namespace mel::graph

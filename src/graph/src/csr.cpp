@@ -1,0 +1,99 @@
+#include "mel/graph/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mel::graph {
+
+Csr Csr::from_edges(VertexId nverts, std::span<const Edge> edges) {
+  if (nverts < 0) throw std::invalid_argument("Csr: negative vertex count");
+  // Canonicalize to (min, max), drop self-loops.
+  std::vector<Edge> clean;
+  clean.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    if (e.u < 0 || e.u >= nverts || e.v < 0 || e.v >= nverts) {
+      throw std::out_of_range("Csr: edge endpoint out of range");
+    }
+    clean.push_back(e.u < e.v ? e : Edge{e.v, e.u, e.w});
+  }
+  std::sort(clean.begin(), clean.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : (a.v != b.v ? a.v < b.v : a.w > b.w);
+  });
+  // Dedupe keeping max weight (first after the sort above).
+  std::vector<Edge> uniq;
+  uniq.reserve(clean.size());
+  for (const Edge& e : clean) {
+    if (!uniq.empty() && uniq.back().u == e.u && uniq.back().v == e.v) continue;
+    uniq.push_back(e);
+  }
+
+  Csr g;
+  g.offsets_.assign(static_cast<std::size_t>(nverts) + 1, 0);
+  for (const Edge& e : uniq) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (VertexId v = 0; v < nverts; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adj_.resize(static_cast<std::size_t>(g.offsets_[nverts]));
+  std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : uniq) {
+    g.adj_[cursor[e.u]++] = Adj{e.v, e.w};
+    g.adj_[cursor[e.v]++] = Adj{e.u, e.w};
+  }
+  for (VertexId v = 0; v < nverts; ++v) {
+    std::sort(g.adj_.begin() + g.offsets_[v], g.adj_.begin() + g.offsets_[v + 1],
+              [](const Adj& a, const Adj& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+EdgeId Csr::max_degree() const {
+  EdgeId best = 0;
+  for (VertexId v = 0; v < nverts(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+VertexId Csr::bandwidth() const {
+  VertexId bw = 0;
+  for (VertexId v = 0; v < nverts(); ++v) {
+    for (const Adj& a : neighbors(v)) bw = std::max(bw, std::abs(a.to - v));
+  }
+  return bw;
+}
+
+double Csr::total_weight() const {
+  double total = 0;
+  for (VertexId v = 0; v < nverts(); ++v) {
+    for (const Adj& a : neighbors(v)) {
+      if (a.to > v) total += a.w;
+    }
+  }
+  return total;
+}
+
+std::vector<Edge> Csr::to_edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nedges()));
+  for (VertexId v = 0; v < nverts(); ++v) {
+    for (const Adj& a : neighbors(v)) {
+      if (a.to > v) edges.push_back(Edge{v, a.to, a.w});
+    }
+  }
+  return edges;
+}
+
+Csr Csr::permuted(std::span<const VertexId> perm) const {
+  if (static_cast<VertexId>(perm.size()) != nverts()) {
+    throw std::invalid_argument("Csr::permuted: permutation size mismatch");
+  }
+  std::vector<Edge> edges = to_edges();
+  for (Edge& e : edges) {
+    e.u = perm[e.u];
+    e.v = perm[e.v];
+  }
+  return from_edges(nverts(), edges);
+}
+
+}  // namespace mel::graph

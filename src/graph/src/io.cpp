@@ -1,0 +1,140 @@
+#include "mel/graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mel::graph {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("matrix market: " + what);
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty input");
+  std::istringstream header(lower(line));
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%matrixmarket") fail("missing %%MatrixMarket banner");
+  if (object != "matrix" || format != "coordinate") {
+    fail("only `matrix coordinate` is supported");
+  }
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    fail("unsupported field type: " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    fail("unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  std::int64_t rows = 0, cols = 0, entries = 0;
+  if (!(size_line >> rows >> cols >> entries)) fail("bad size line");
+  if (rows != cols) fail("matrix must be square to be a graph");
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(entries));
+  for (std::int64_t k = 0; k < entries; ++k) {
+    if (!std::getline(in, line)) fail("unexpected end of entries");
+    std::istringstream e(line);
+    std::int64_t i = 0, j = 0;
+    double w = 1.0;
+    if (!(e >> i >> j)) fail("bad entry line");
+    if (!pattern) {
+      if (!(e >> w)) fail("missing value on entry line");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) fail("entry out of range");
+    if (i == j) continue;  // drop the diagonal
+    edges.push_back(Edge{i - 1, j - 1, w});
+  }
+  return Csr::from_edges(rows, edges);
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(const Csr& g, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << "% written by mel++\n";
+  out << g.nverts() << ' ' << g.nverts() << ' ' << g.nedges() << '\n';
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    for (const Adj& a : g.neighbors(v)) {
+      // Lower triangle: row >= column, 1-based.
+      if (a.to < v) out << (v + 1) << ' ' << (a.to + 1) << ' ' << a.w << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const Csr& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_matrix_market(g, out);
+}
+
+namespace {
+constexpr char kMagic[4] = {'M', 'E', 'L', 'G'};
+}
+
+Csr read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("binary graph: bad magic");
+  }
+  std::uint64_t nverts = 0, nedges = 0;
+  in.read(reinterpret_cast<char*>(&nverts), sizeof nverts);
+  in.read(reinterpret_cast<char*>(&nedges), sizeof nedges);
+  if (!in) throw std::runtime_error("binary graph: truncated header");
+  std::vector<Edge> edges(nedges);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(nedges * sizeof(Edge)));
+  if (!in) throw std::runtime_error("binary graph: truncated edges");
+  return Csr::from_edges(static_cast<VertexId>(nverts), edges);
+}
+
+Csr read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_binary(in);
+}
+
+void write_binary(const Csr& g, std::ostream& out) {
+  out.write(kMagic, 4);
+  const std::uint64_t nverts = static_cast<std::uint64_t>(g.nverts());
+  const auto edges = g.to_edges();
+  const std::uint64_t nedges = edges.size();
+  out.write(reinterpret_cast<const char*>(&nverts), sizeof nverts);
+  out.write(reinterpret_cast<const char*>(&nedges), sizeof nedges);
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(edges.size() * sizeof(Edge)));
+}
+
+void write_binary_file(const Csr& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_binary(g, out);
+}
+
+}  // namespace mel::graph

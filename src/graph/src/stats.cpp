@@ -1,0 +1,143 @@
+#include "mel/graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mel::graph {
+
+namespace {
+struct Moments {
+  double avg = 0.0;
+  double sigma = 0.0;
+};
+
+Moments moments(const std::vector<double>& xs) {
+  if (xs.empty()) return {};
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double avg = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - avg) * (x - avg);
+  var /= static_cast<double>(xs.size());
+  return {avg, std::sqrt(var)};
+}
+}  // namespace
+
+ProcessGraphStats process_graph_stats(const DistGraph& dg) {
+  ProcessGraphStats s;
+  s.nranks = dg.nranks();
+  std::vector<double> degrees;
+  degrees.reserve(dg.nranks());
+  std::int64_t directed = 0;
+  for (Rank r = 0; r < dg.nranks(); ++r) {
+    const auto d = static_cast<std::int64_t>(dg.local(r).neighbor_ranks.size());
+    degrees.push_back(static_cast<double>(d));
+    directed += d;
+    s.dmax = std::max(s.dmax, d);
+  }
+  s.ep_edges = directed / 2;
+  const auto m = moments(degrees);
+  s.davg = m.avg;
+  s.dsigma = m.sigma;
+  return s;
+}
+
+EdgePrimeStats edge_prime_stats(const DistGraph& dg) {
+  EdgePrimeStats s;
+  std::vector<double> per_rank;
+  per_rank.reserve(dg.nranks());
+  for (Rank r = 0; r < dg.nranks(); ++r) {
+    const LocalGraph& lg = dg.local(r);
+    // Local adjacency entries: intra-rank edges appear twice, cross edges
+    // once. |E'| = intra + cross = (entries + cross) / 2.
+    const auto entries = static_cast<std::int64_t>(lg.adj.size());
+    const std::int64_t eprime = (entries + lg.total_ghost_edges) / 2;
+    per_rank.push_back(static_cast<double>(eprime));
+    s.total += eprime;
+    s.max = std::max(s.max, eprime);
+  }
+  const auto m = moments(per_rank);
+  s.avg = m.avg;
+  s.sigma = m.sigma;
+  return s;
+}
+
+DegreeStats degree_stats(const Csr& g) {
+  DegreeStats s;
+  std::vector<double> ds;
+  ds.reserve(g.nverts());
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    s.dmax = std::max(s.dmax, g.degree(v));
+    ds.push_back(static_cast<double>(g.degree(v)));
+  }
+  const auto m = moments(ds);
+  s.davg = m.avg;
+  s.dsigma = m.sigma;
+  return s;
+}
+
+namespace {
+char density_char(double frac) {
+  if (frac <= 0.0) return ' ';
+  if (frac < 0.05) return '.';
+  if (frac < 0.2) return ':';
+  if (frac < 0.5) return 'o';
+  return '#';
+}
+}  // namespace
+
+std::string render_spy(const Csr& g, int cells) {
+  const VertexId n = g.nverts();
+  if (n == 0 || cells <= 0) return "";
+  const int c = static_cast<int>(std::min<VertexId>(cells, n));
+  std::vector<std::uint64_t> grid(static_cast<std::size_t>(c) * c, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const int row = static_cast<int>(v * c / n);
+    for (const Adj& a : g.neighbors(v)) {
+      const int col = static_cast<int>(a.to * c / n);
+      ++grid[static_cast<std::size_t>(row) * c + col];
+    }
+  }
+  // Cell capacity for normalization: vertices-per-cell squared.
+  const double cap = std::max(1.0, (static_cast<double>(n) / c) *
+                                       (static_cast<double>(n) / c));
+  std::ostringstream os;
+  for (int r = 0; r < c; ++r) {
+    for (int col = 0; col < c; ++col) {
+      os << density_char(static_cast<double>(grid[static_cast<std::size_t>(r) * c + col]) / cap);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string render_heatmap(const std::vector<std::uint64_t>& row_major, int n,
+                           int cells) {
+  if (n <= 0) return "";
+  const int c = std::min(cells, n);
+  std::vector<std::uint64_t> grid(static_cast<std::size_t>(c) * c, 0);
+  std::uint64_t maxv = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const int r = i * c / n, col = j * c / n;
+      grid[static_cast<std::size_t>(r) * c + col] +=
+          row_major[static_cast<std::size_t>(i) * n + j];
+    }
+  }
+  for (auto v : grid) maxv = std::max(maxv, v);
+  std::ostringstream os;
+  const double logmax = maxv > 0 ? std::log1p(static_cast<double>(maxv)) : 1.0;
+  for (int r = 0; r < c; ++r) {
+    for (int col = 0; col < c; ++col) {
+      const auto v = grid[static_cast<std::size_t>(r) * c + col];
+      const double frac =
+          v == 0 ? 0.0 : std::log1p(static_cast<double>(v)) / logmax;
+      os << density_char(frac);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mel::graph

@@ -1,0 +1,92 @@
+// The three (plus MatchBox-P-flavored baseline) communication backends for
+// distributed half-approx matching — the paper's Table I:
+//
+//             | Push                    | Evoke                    | Process
+//   ----------+-------------------------+--------------------------+-----------------
+//   NSR       | MPI_Isend               | MPI_Iprobe               | MPI_Recv (one at a time)
+//   RMA       | MPI_Put                 | MPI_Win_flush_all +      | read local window
+//             |                         | MPI_Neighbor_alltoall    |
+//   NCL       | append to send buffer   | MPI_Neighbor_alltoall +  | read recv buffer
+//             |                         | MPI_Neighbor_alltoallv   |
+//   MBP       | as NSR, with MatchBox-P's heavier per-message bookkeeping
+//
+// Each backend is a coroutine driving one rank's LocalMatcher. RMA and NCL
+// additionally run a global MPI_Allreduce on the active ghost-edge count
+// each iteration — the exit criterion the paper calls out as their extra
+// communication cost; NSR exits on its local count alone (sound, see
+// engine.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mel/match/engine.hpp"
+#include "mel/mpi/comm.hpp"
+#include "mel/sim/task.hpp"
+
+namespace mel::match {
+
+/// Communication models. The first four are the paper's; the last three
+/// implement its explicitly-flagged alternatives:
+///   kNsrAgg   - Send-Recv with per-neighbor message aggregation (the
+///               optimization the paper notes its baseline lacks),
+///   kRmaFence - active-target RMA (MPI_Win_fence epochs, the style the
+///               paper contrasts with its passive-target choice),
+///   kNclNb    - nonblocking neighborhood collectives (the Kandalla et
+///               al. direction cited in related work).
+enum class Model { kNsr, kRma, kNcl, kMbp, kNsrAgg, kRmaFence, kNclNb };
+
+const char* model_name(Model m);
+
+/// Bytes of communication buffer a rank needs under each model (beyond
+/// what the Machine accounts automatically); used for Table VIII.
+std::size_t backend_buffer_bytes(Model m, const graph::LocalGraph& lg);
+
+/// Window size (bytes) rank r needs for the RMA backend: one region of
+/// 2 * ghost_count records per process neighbor (paper Fig 1).
+std::size_t rma_window_bytes(const graph::LocalGraph& lg);
+
+/// Per-rank coroutines. `mate_out` receives one global partner id (or
+/// kNullVertex) per owned vertex. `iterations_out` (nullable) receives the
+/// number of exchange rounds (RMA/NCL) or processed messages (NSR/MBP).
+sim::RankTask nsr_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                          const graph::Distribution& dist, bool mbp_flavor,
+                          std::vector<VertexId>* mate_out,
+                          std::uint64_t* iterations_out);
+
+sim::RankTask rma_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                          const graph::Distribution& dist, int window_id,
+                          std::vector<VertexId>* mate_out,
+                          std::uint64_t* iterations_out);
+
+sim::RankTask ncl_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                          const graph::Distribution& dist,
+                          std::vector<VertexId>* mate_out,
+                          std::uint64_t* iterations_out);
+
+/// Send-Recv with per-neighbor aggregation: Push appends to a staging
+/// buffer; one packed Isend per neighbor per progress turn.
+sim::RankTask nsr_agg_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                              const graph::Distribution& dist,
+                              std::vector<VertexId>* mate_out,
+                              std::uint64_t* iterations_out);
+
+/// Active-target RMA: puts for data *and* counts, separated by
+/// MPI_Win_fence epochs (no neighbor_alltoall in the loop, but a global
+/// epoch per iteration).
+sim::RankTask rma_fence_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                                const graph::Distribution& dist, int window_id,
+                                std::vector<VertexId>* mate_out,
+                                std::uint64_t* iterations_out);
+
+/// Window bytes for the fence variant: the RMA layout plus one cumulative
+/// count slot per process neighbor.
+std::size_t rma_fence_window_bytes(const graph::LocalGraph& lg);
+
+/// Nonblocking neighborhood collectives (split-phase alltoallv).
+sim::RankTask ncl_nb_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                             const graph::Distribution& dist,
+                             std::vector<VertexId>* mate_out,
+                             std::uint64_t* iterations_out);
+
+}  // namespace mel::match

@@ -1,0 +1,66 @@
+// Host-side driver: builds the simulated machine, distributes the graph,
+// runs one matching configuration to completion, and returns everything
+// the paper's tables/figures report about a run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mel/graph/dist.hpp"
+#include "mel/match/backends.hpp"
+#include "mel/match/serial.hpp"
+#include "mel/mpi/counters.hpp"
+#include "mel/net/network.hpp"
+
+namespace mel::mpi {
+class Tracer;
+}
+
+namespace mel::match {
+
+struct RunConfig {
+  net::Params net{};
+  /// Keep a copy of the (src, dst) communication matrix (O(p^2) memory).
+  bool collect_matrix = false;
+  /// Optional per-operation timeline sink (see perf::ChromeTracer).
+  mpi::Tracer* tracer = nullptr;
+};
+
+struct RunResult {
+  Model model = Model::kNsr;
+  int nranks = 1;
+
+  Matching matching;  // assembled global matching
+
+  /// Simulated job time: max over ranks of final virtual clock.
+  sim::Time time = 0;
+  double seconds() const { return sim::to_seconds(time); }
+
+  mpi::CommCounters totals;  // summed over ranks
+  std::vector<mpi::CommCounters> per_rank;
+
+  /// Memory model inputs, per rank: communication buffers (windows,
+  /// staging, peak unexpected-message queue) and algorithm+graph state.
+  std::vector<std::size_t> comm_buffer_bytes;
+  std::vector<std::size_t> state_bytes;
+  /// Per-rank peaks of queued incoming messages and in-flight sends
+  /// (drives the MPI-internal per-message memory model, Table VIII).
+  std::vector<std::uint64_t> peak_queued_msgs;
+  std::vector<std::uint64_t> peak_inflight_msgs;
+
+  std::uint64_t sim_events = 0;
+  std::uint64_t iterations = 0;  // max over ranks
+
+  std::unique_ptr<mpi::CommMatrix> matrix;  // if collect_matrix
+};
+
+/// Run one model on a prebuilt distribution.
+RunResult run_match(const graph::DistGraph& dg, Model model,
+                    const RunConfig& cfg = {});
+
+/// Convenience: distribute `g` over `nranks` and run.
+RunResult run_match(const graph::Csr& g, int nranks, Model model,
+                    const RunConfig& cfg = {});
+
+}  // namespace mel::match

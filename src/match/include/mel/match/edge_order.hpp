@@ -1,0 +1,59 @@
+// The strict total order on edges that every matcher variant (serial and
+// all distributed backends) must share.
+//
+// Heavier edges win; ties are broken by a hash of the (unordered) endpoint
+// pair, as suggested by Manne & Bisseling for pathological equal-weight
+// inputs (paths, grids with ordered vertex numbering), with the raw
+// endpoint pair as the final tiebreak so the order is strict. A strict
+// total order makes the locally-dominant matching unique — it equals the
+// greedy matching by descending order — which is the invariant our
+// cross-backend equality tests lean on.
+#pragma once
+
+#include <cstdint>
+
+#include "mel/graph/csr.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::match {
+
+using graph::VertexId;
+using graph::Weight;
+
+/// Sort key for an edge; compare lexicographically, larger = preferred.
+struct EdgeKey {
+  Weight w;
+  std::uint64_t tie;
+  VertexId lo;
+  VertexId hi;
+
+  friend bool operator<(const EdgeKey& a, const EdgeKey& b) {
+    if (a.w != b.w) return a.w < b.w;
+    if (a.tie != b.tie) return a.tie < b.tie;
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.hi < b.hi;
+  }
+  friend bool operator==(const EdgeKey& a, const EdgeKey& b) {
+    return a.w == b.w && a.tie == b.tie && a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+inline EdgeKey edge_key(VertexId u, VertexId v, Weight w) {
+  const VertexId lo = u < v ? u : v;
+  const VertexId hi = u < v ? v : u;
+  return EdgeKey{w,
+                 util::hash_combine(static_cast<std::uint64_t>(lo),
+                                    static_cast<std::uint64_t>(hi)),
+                 lo, hi};
+}
+
+/// True if edge (u, a) is strictly preferred over (u, b) from u's side.
+inline bool edge_better(VertexId u, VertexId a, Weight wa, VertexId b,
+                        Weight wb) {
+  return edge_key(u, b, wb) < edge_key(u, a, wa);
+}
+
+/// Sentinel for "no mate / no candidate".
+inline constexpr VertexId kNullVertex = -1;
+
+}  // namespace mel::match

@@ -1,0 +1,126 @@
+// The communication-model-agnostic core of distributed half-approximate
+// matching (paper §IV, Algorithms 3-6).
+//
+// LocalMatcher holds one rank's algorithm state and implements FINDMATE,
+// PROCESSNEIGHBORS and PROCESSINCOMINGDATA. It never communicates: it
+// appends wire messages to an outbox that the communication backend
+// (backends.hpp — Send-Recv, RMA, or neighborhood collectives, per the
+// paper's Table I) drains with its own Push/Evoke/Process mapping.
+//
+// Two deliberate deviations from the paper's pseudocode (both documented
+// in DESIGN.md):
+//
+//  1. A REQUEST that cannot be satisfied immediately is *deferred* (the
+//     Manne-Bisseling semantics), not eagerly rejected: the requester is
+//     already suspended waiting, and rejecting eagerly would discard an
+//     edge that can still become locally dominant. With deferral the
+//     computed matching is exactly the unique greedy-by-edge-order
+//     matching, so every backend must agree with the serial algorithm
+//     bit-for-bit — the cross-backend test invariant.
+//  2. A ghost edge is deactivated *exactly once per side*, and only when
+//     its outcome is locally known (match completed, REJECT/INVALID
+//     received, or REJECT/INVALID sent). active_cross() therefore reaches
+//     zero on a rank only when no in-flight message can still concern it,
+//     which makes the Send-Recv local exit test sound and the RMA/NCL
+//     global reduction exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mel/graph/dist.hpp"
+#include "mel/match/edge_order.hpp"
+#include "mel/mpi/comm.hpp"
+
+namespace mel::match {
+
+using graph::EdgeId;
+using sim::Rank;
+
+/// Communication contexts (paper Fig 3). Encoded in the message tag for
+/// Send-Recv and in the payload for RMA/NCL.
+enum class Ctx : std::int32_t { kRequest = 0, kReject = 1, kInvalid = 2 };
+
+/// Fixed-size wire record: {target vertex, source vertex, context}.
+struct WireMsg {
+  VertexId target = kNullVertex;  // vertex owned by the receiver ("x")
+  VertexId source = kNullVertex;  // vertex owned by the sender ("y")
+  std::int32_t ctx = 0;
+  std::int32_t pad = 0;
+};
+static_assert(sizeof(WireMsg) == 24);
+
+struct Outgoing {
+  Rank dst = -1;
+  WireMsg msg;
+};
+
+class LocalMatcher {
+ public:
+  /// `comm` is used only to charge local-computation time to the rank's
+  /// virtual clock; all communication goes through the outbox.
+  LocalMatcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+               const graph::Distribution& dist);
+
+  /// Phase 1: FINDMATE for every owned vertex, then drain local work.
+  void start();
+
+  /// PROCESSINCOMINGDATA for one wire record.
+  void handle(const WireMsg& msg);
+
+  /// Run the local matched/refind queues to quiescence.
+  void drain_local();
+
+  /// Number of ghost edges not yet deactivated on this side.
+  std::int64_t active_cross() const { return active_cross_; }
+
+  /// Messages produced since the backend last drained them.
+  std::vector<Outgoing>& outbox() { return outbox_; }
+
+  /// mate per owned vertex (global partner id or kNullVertex), indexed by
+  /// local offset (global id - vbegin).
+  std::span<const VertexId> mates() const { return mate_; }
+
+  /// Extra bytes of algorithm state (memory model).
+  std::size_t state_bytes() const;
+
+ private:
+  struct SortedEntry {
+    VertexId to = kNullVertex;
+    Weight w = 0.0;
+    EdgeId orig = 0;  // index into lg_.adj for the dead bitmap
+  };
+
+  VertexId local_index(VertexId global_v) const { return global_v - lg_.vbegin; }
+  bool owned(VertexId v) const { return lg_.owns(v); }
+
+  /// Index of adjacency entry (x, y) in lg_.adj (rows sorted by `to`).
+  EdgeId entry_index(VertexId x, VertexId y) const;
+
+  /// Deactivate an adjacency entry; returns false if already dead.
+  bool deactivate(EdgeId orig_index);
+
+  void find_mate(VertexId x);
+  void process_neighbors(VertexId v);
+  void push(Ctx ctx, VertexId target, VertexId source);
+  void match_pair_local(VertexId x, VertexId y);
+
+  mpi::Comm& comm_;
+  const graph::LocalGraph& lg_;
+  const graph::Distribution& dist_;
+
+  std::vector<EdgeId> sorted_offsets_;      // per local vertex
+  std::vector<SortedEntry> sorted_adj_;     // rows in descending EdgeKey
+  std::vector<EdgeId> cursor_;              // per local vertex
+  std::vector<char> dead_;                  // per lg_.adj entry
+  std::vector<char> incoming_req_;          // deferred REQUEST per entry
+  std::vector<VertexId> mate_;              // per local vertex (global id)
+  std::vector<VertexId> cand_;              // per local vertex (global id)
+  std::vector<VertexId> matched_queue_;
+  std::vector<VertexId> refind_queue_;
+  std::vector<Outgoing> outbox_;
+  std::int64_t active_cross_ = 0;
+};
+
+}  // namespace mel::match

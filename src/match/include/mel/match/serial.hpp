@@ -1,0 +1,38 @@
+// Serial half-approximate weighted matching (paper §III, Algorithm 2),
+// plus the reference algorithms the tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mel/graph/csr.hpp"
+#include "mel/match/edge_order.hpp"
+
+namespace mel::match {
+
+using graph::Csr;
+using graph::EdgeId;
+
+struct Matching {
+  /// mate[v] = matched partner of v, or kNullVertex.
+  std::vector<VertexId> mate;
+  double weight = 0.0;
+  EdgeId cardinality = 0;
+};
+
+/// Locally-dominant half-approx matching (Preis/Hoepman/Manne-Bisseling
+/// lineage). Expected linear time via per-vertex sorted-adjacency pointers.
+/// Only edges with weight > 0 are matched.
+Matching serial_half_approx(const Csr& g);
+
+/// Greedy matching by globally descending edge order. With the strict
+/// total order of edge_order.hpp this equals the locally-dominant result;
+/// O(E log E).
+Matching greedy_matching(const Csr& g);
+
+/// Exact maximum-weight matching by exhaustive search; for tests only
+/// (exponential — requires nedges <= ~24).
+Matching brute_force_optimum(const Csr& g);
+
+}  // namespace mel::match

@@ -1,0 +1,22 @@
+// Matching verification predicates used by tests and benches.
+#pragma once
+
+#include <span>
+
+#include "mel/match/serial.hpp"
+
+namespace mel::match {
+
+/// Symmetric (mate[mate[v]] == v), partners adjacent, no vertex reuse.
+bool is_valid_matching(const Csr& g, std::span<const VertexId> mate);
+
+/// No positive-weight edge has both endpoints unmatched (maximality — a
+/// property the locally-dominant algorithm guarantees).
+bool is_maximal_matching(const Csr& g, std::span<const VertexId> mate);
+
+/// Sum of matched edge weights (each edge once).
+double matching_weight(const Csr& g, std::span<const VertexId> mate);
+
+EdgeId matching_cardinality(std::span<const VertexId> mate);
+
+}  // namespace mel::match

@@ -1,0 +1,464 @@
+#include "mel/match/backends.hpp"
+
+#include <stdexcept>
+
+namespace mel::match {
+
+namespace {
+
+/// Extra per-message software cost modelling MatchBox-P's heavier
+/// bookkeeping (per-message allocation, request-object tracking): the
+/// paper measures plain NSR 1.2-2x faster than MBP on large graphs.
+constexpr sim::Time kMbpSendSurcharge = 900;  // ns per message sent
+constexpr sim::Time kMbpRecvSurcharge = 600;  // ns per message received
+
+void copy_out_mates(const LocalMatcher& eng, std::vector<VertexId>* out) {
+  if (out == nullptr) return;
+  out->assign(eng.mates().begin(), eng.mates().end());
+}
+
+}  // namespace
+
+const char* model_name(Model m) {
+  switch (m) {
+    case Model::kNsr: return "NSR";
+    case Model::kRma: return "RMA";
+    case Model::kNcl: return "NCL";
+    case Model::kMbp: return "MBP";
+    case Model::kNsrAgg: return "NSR-AGG";
+    case Model::kRmaFence: return "RMA-FENCE";
+    case Model::kNclNb: return "NCL-NB";
+  }
+  return "?";
+}
+
+std::size_t rma_window_bytes(const graph::LocalGraph& lg) {
+  // One region per process neighbor sized for the worst case of 2 records
+  // per shared ghost edge (paper §IV-B: at most 2 messages per ghost).
+  return static_cast<std::size_t>(2 * lg.total_ghost_edges) * sizeof(WireMsg);
+}
+
+std::size_t backend_buffer_bytes(Model m, const graph::LocalGraph& lg) {
+  const auto two_per_ghost =
+      static_cast<std::size_t>(2 * lg.total_ghost_edges) * sizeof(WireMsg);
+  switch (m) {
+    case Model::kNsr:
+      return 0;  // per-message dynamic buffers; peak mailbox is accounted
+                 // by the Machine
+    case Model::kMbp:
+      // MatchBox-P keeps both persistent send and receive staging arrays.
+      return 2 * two_per_ghost;
+    case Model::kRma:
+      // Window accounted at allocation; add origin-side counters and the
+      // displacement table (O(neighbors)).
+      return lg.neighbor_ranks.size() * 3 * sizeof(std::int64_t);
+    case Model::kNcl:
+    case Model::kNclNb:
+      // Send staging sized to the per-edge bound; receive staging sized to
+      // the observed per-round maximum (about half that in practice) —
+      // which is why the paper measures NCL below RMA's worst-case window.
+      return two_per_ghost / 2 + two_per_ghost / 4;
+    case Model::kNsrAgg:
+      // One send staging buffer; receives land in place.
+      return two_per_ghost / 2;
+    case Model::kRmaFence:
+      return lg.neighbor_ranks.size() * 4 * sizeof(std::int64_t);
+  }
+  return 0;
+}
+
+std::size_t rma_fence_window_bytes(const graph::LocalGraph& lg) {
+  return rma_window_bytes(lg) +
+         lg.neighbor_ranks.size() * sizeof(std::int64_t);
+}
+
+// ---------------------------------------------------------------------------
+// NSR / MBP
+// ---------------------------------------------------------------------------
+
+sim::RankTask nsr_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                          const graph::Distribution& dist, bool mbp_flavor,
+                          std::vector<VertexId>* mate_out,
+                          std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  std::uint64_t processed = 0;
+
+  auto flush_outbox = [&] {
+    for (const Outgoing& o : eng.outbox()) {
+      if (mbp_flavor) comm.compute(kMbpSendSurcharge);
+      // Communication context rides in the message tag (paper §IV-B).
+      comm.isend_pod<WireMsg>(o.dst, o.msg.ctx, o.msg);
+    }
+    eng.outbox().clear();
+  };
+
+  eng.start();
+  flush_outbox();
+
+  while (eng.active_cross() > 0) {
+    bool received_any = false;
+    // Nonblocking probe loop; receive and process one message at a time
+    // (the paper's baseline does not aggregate).
+    while (auto env = comm.iprobe()) {
+      const mpi::Message m = co_await comm.recv(env->src, env->tag);
+      comm.compute(comm.machine().network().params().nsr_handling_per_msg);
+      if (mbp_flavor) comm.compute(kMbpRecvSurcharge);
+      eng.handle(mpi::from_bytes<WireMsg>(m.data));
+      eng.drain_local();
+      flush_outbox();
+      ++processed;
+      received_any = true;
+    }
+    if (eng.active_cross() == 0) break;
+    // Nothing arrived and edges are still pending: block for progress
+    // instead of spinning on Iprobe.
+    if (!received_any) co_await comm.wait_message();
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = processed;
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// NSR-AGG: Send-Recv with per-neighbor message aggregation (the paper's
+// "we do not aggregate outgoing messages" flag, implemented).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kAggTag = 64;  // above the Ctx tag range
+}
+
+sim::RankTask nsr_agg_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                              const graph::Distribution& dist,
+                              std::vector<VertexId>* mate_out,
+                              std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  const std::size_t deg = lg.neighbor_ranks.size();
+  std::vector<std::vector<WireMsg>> staged(deg);
+  std::uint64_t batches = 0;
+
+  auto flush_staged = [&] {
+    // Stage the engine outbox per neighbor, then one packed Isend each.
+    for (const Outgoing& o : eng.outbox()) {
+      const int k = lg.neighbor_index(o.dst);
+      staged[static_cast<std::size_t>(k)].push_back(o.msg);
+    }
+    eng.outbox().clear();
+    for (std::size_t k = 0; k < deg; ++k) {
+      if (staged[k].empty()) continue;
+      comm.isend(lg.neighbor_ranks[k], kAggTag,
+                 std::as_bytes(std::span<const WireMsg>(staged[k])));
+      staged[k].clear();
+      ++batches;
+    }
+  };
+
+  eng.start();
+  flush_staged();
+
+  while (eng.active_cross() > 0) {
+    bool received_any = false;
+    while (auto env = comm.iprobe()) {
+      const mpi::Message m = co_await comm.recv(env->src, env->tag);
+      const std::size_t n = mpi::record_count<WireMsg>(m.data);
+      for (std::size_t i = 0; i < n; ++i) {
+        eng.handle(mpi::nth_record<WireMsg>(m.data, i));
+      }
+      eng.drain_local();
+      received_any = true;
+    }
+    flush_staged();
+    if (eng.active_cross() == 0) break;
+    if (!received_any) co_await comm.wait_message();
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = batches;
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// RMA
+// ---------------------------------------------------------------------------
+
+sim::RankTask rma_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                          const graph::Distribution& dist, int window_id,
+                          std::vector<VertexId>* mate_out,
+                          std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  mpi::Window win = comm.window(window_id);
+  const std::size_t deg = lg.neighbor_ranks.size();
+
+  // Region layout of MY window: neighbor k's region starts at
+  // prefix-sum(2 * ghost_counts) records (paper Fig 1).
+  std::vector<std::int64_t> my_region_base(deg, 0);
+  {
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < deg; ++k) {
+      my_region_base[k] = acc;
+      acc += 2 * lg.ghost_counts[k];
+    }
+  }
+  // Tell each neighbor where its region in my window starts; what I get
+  // back is where my region in each neighbor's window starts.
+  std::vector<std::int64_t> remote_base =
+      co_await comm.neighbor_alltoall_i64(my_region_base);
+
+  std::vector<std::int64_t> written(deg, 0);  // records I put per neighbor
+  std::vector<std::int64_t> seen(deg, 0);     // records I consumed per nbr
+  std::uint64_t rounds = 0;
+
+  eng.start();
+
+  for (;;) {
+    ++rounds;
+    // Push: one-sided put per staged message, at the precomputed
+    // displacement.
+    for (const Outgoing& o : eng.outbox()) {
+      const int k = lg.neighbor_index(o.dst);
+      if (k < 0) throw std::logic_error("rma_matcher: message to non-neighbor");
+      const std::size_t record =
+          static_cast<std::size_t>(remote_base[k] + written[k]);
+      win.put_records<WireMsg>(o.dst, record,
+                               std::span<const WireMsg>(&o.msg, 1));
+      ++written[k];
+    }
+    eng.outbox().clear();
+
+    // Evoke: complete outstanding puts, then swap cumulative counts so
+    // each rank knows how much of its window is valid.
+    co_await win.flush_all();
+    const std::vector<std::int64_t> avail =
+        co_await comm.neighbor_alltoall_i64(written);
+
+    // Process: consume freshly landed records straight from the window.
+    for (std::size_t k = 0; k < deg; ++k) {
+      for (std::int64_t r = seen[k]; r < avail[k]; ++r) {
+        const std::size_t byte_off =
+            static_cast<std::size_t>(my_region_base[k] + r) * sizeof(WireMsg);
+        const WireMsg msg = mpi::from_bytes<WireMsg>(
+            win.local().subspan(byte_off, sizeof(WireMsg)));
+        eng.handle(msg);
+      }
+      seen[k] = avail[k];
+    }
+    eng.drain_local();
+
+    // Exit needs a global reduction (paper §V-D): a rank with no active
+    // edges may still owe answers that only exist as other ranks' state.
+    const std::int64_t remaining = co_await comm.allreduce_sum(eng.active_cross());
+    if (remaining == 0) break;
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = rounds;
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// RMA-FENCE: active-target one-sided epochs. Both the data records and the
+// cumulative per-neighbor counts travel as puts; an MPI_Win_fence closes
+// the epoch, so no neighbor_alltoall is needed inside the loop — at the
+// price of a global epoch per iteration (the restrictiveness the paper
+// cites for preferring passive target).
+// ---------------------------------------------------------------------------
+
+sim::RankTask rma_fence_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                                const graph::Distribution& dist, int window_id,
+                                std::vector<VertexId>* mate_out,
+                                std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  mpi::Window win = comm.window(window_id);
+  const std::size_t deg = lg.neighbor_ranks.size();
+
+  // Window layout: data regions as in the passive-target variant, then
+  // one cumulative-count slot (int64) per neighbor at the tail.
+  std::vector<std::int64_t> my_region_base(deg, 0);
+  {
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < deg; ++k) {
+      my_region_base[k] = acc;
+      acc += 2 * lg.ghost_counts[k];
+    }
+  }
+  const std::size_t counts_base =
+      static_cast<std::size_t>(2 * lg.total_ghost_edges) * sizeof(WireMsg);
+
+  // Setup exchanges (still collective, but one-time): where my data region
+  // starts in each neighbor's window, and which count slot is mine there.
+  const std::vector<std::int64_t> remote_base =
+      co_await comm.neighbor_alltoall_i64(my_region_base);
+  std::vector<std::int64_t> my_index_of(deg);
+  for (std::size_t k = 0; k < deg; ++k) {
+    my_index_of[k] = static_cast<std::int64_t>(k);
+  }
+  const std::vector<std::int64_t> my_slot_at =
+      co_await comm.neighbor_alltoall_i64(my_index_of);
+  // The count-slot area starts after the data regions, whose size differs
+  // per rank: learn each neighbor's counts base.
+  const std::vector<std::int64_t> nbr_counts_base =
+      co_await comm.neighbor_alltoall_i64(std::vector<std::int64_t>(
+          deg, static_cast<std::int64_t>(counts_base)));
+
+  std::vector<std::int64_t> written(deg, 0);
+  std::vector<std::int64_t> seen(deg, 0);
+  std::uint64_t rounds = 0;
+
+  eng.start();
+
+  for (;;) {
+    ++rounds;
+    for (const Outgoing& o : eng.outbox()) {
+      const int k = lg.neighbor_index(o.dst);
+      if (k < 0) {
+        throw std::logic_error("rma_fence_matcher: message to non-neighbor");
+      }
+      const std::size_t record =
+          static_cast<std::size_t>(remote_base[k] + written[k]);
+      win.put_records<WireMsg>(o.dst, record,
+                               std::span<const WireMsg>(&o.msg, 1));
+      ++written[k];
+    }
+    eng.outbox().clear();
+    // Publish cumulative counts into each neighbor's count slot.
+    for (std::size_t k = 0; k < deg; ++k) {
+      const std::size_t slot =
+          static_cast<std::size_t>(nbr_counts_base[k]) +
+          static_cast<std::size_t>(my_slot_at[k]) * sizeof(std::int64_t);
+      win.put(lg.neighbor_ranks[k], slot, mpi::bytes_of(written[k]));
+    }
+
+    co_await win.fence();  // epoch boundary: all puts visible everywhere
+
+    for (std::size_t k = 0; k < deg; ++k) {
+      const std::size_t slot = counts_base + k * sizeof(std::int64_t);
+      const auto avail = mpi::from_bytes<std::int64_t>(
+          win.local().subspan(slot, sizeof(std::int64_t)));
+      for (std::int64_t r = seen[k]; r < avail; ++r) {
+        const std::size_t byte_off =
+            static_cast<std::size_t>(my_region_base[k] + r) * sizeof(WireMsg);
+        eng.handle(mpi::from_bytes<WireMsg>(
+            win.local().subspan(byte_off, sizeof(WireMsg))));
+      }
+      seen[k] = avail;
+    }
+    eng.drain_local();
+
+    const std::int64_t remaining =
+        co_await comm.allreduce_sum(eng.active_cross());
+    if (remaining == 0) break;
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = rounds;
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// NCL
+// ---------------------------------------------------------------------------
+
+sim::RankTask ncl_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                          const graph::Distribution& dist,
+                          std::vector<VertexId>* mate_out,
+                          std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  const std::size_t deg = lg.neighbor_ranks.size();
+  std::uint64_t rounds = 0;
+
+  eng.start();
+
+  for (;;) {
+    ++rounds;
+    // Push: aggregate staged messages into per-neighbor send buffers.
+    std::vector<std::vector<std::byte>> slices(deg);
+    std::vector<std::int64_t> counts(deg, 0);
+    for (const Outgoing& o : eng.outbox()) {
+      const int k = lg.neighbor_index(o.dst);
+      if (k < 0) throw std::logic_error("ncl_matcher: message to non-neighbor");
+      const auto bytes = mpi::bytes_of(o.msg);
+      slices[k].insert(slices[k].end(), bytes.begin(), bytes.end());
+      ++counts[k];
+    }
+    eng.outbox().clear();
+
+    // Evoke: fixed-size count exchange so receivers can size buffers, then
+    // the variable-size payload exchange.
+    (void)co_await comm.neighbor_alltoall_i64(counts);
+    std::vector<std::vector<std::byte>> incoming =
+        co_await comm.neighbor_alltoallv(std::move(slices));
+
+    // Process: drain the receive buffer.
+    for (const auto& slice : incoming) {
+      const std::size_t n = mpi::record_count<WireMsg>(slice);
+      for (std::size_t i = 0; i < n; ++i) {
+        eng.handle(mpi::nth_record<WireMsg>(slice, i));
+      }
+    }
+    eng.drain_local();
+
+    const std::int64_t remaining = co_await comm.allreduce_sum(eng.active_cross());
+    if (remaining == 0) break;
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = rounds;
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// NCL-NB: split-phase (nonblocking) neighborhood collective per round. The
+// payload sizes ride with the alltoallv itself, so the per-round
+// fixed-size count exchange disappears; the wait point is the only
+// synchronization with the neighborhood.
+// ---------------------------------------------------------------------------
+
+sim::RankTask ncl_nb_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                             const graph::Distribution& dist,
+                             std::vector<VertexId>* mate_out,
+                             std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  const std::size_t deg = lg.neighbor_ranks.size();
+  std::uint64_t rounds = 0;
+
+  eng.start();
+
+  for (;;) {
+    ++rounds;
+    std::vector<std::vector<std::byte>> slices(deg);
+    for (const Outgoing& o : eng.outbox()) {
+      const int k = lg.neighbor_index(o.dst);
+      if (k < 0) throw std::logic_error("ncl_nb_matcher: message to non-neighbor");
+      const auto bytes = mpi::bytes_of(o.msg);
+      slices[static_cast<std::size_t>(k)].insert(
+          slices[static_cast<std::size_t>(k)].end(), bytes.begin(),
+          bytes.end());
+    }
+    eng.outbox().clear();
+
+    mpi::NeighborRequest req;
+    comm.ineighbor_alltoallv(std::move(slices), req);
+    // Overlap window: local queues are already drained here, but a real
+    // application would fold independent work in before the wait.
+    co_await comm.ineighbor_wait(req);
+
+    for (const auto& slice : req.recv) {
+      const std::size_t n = mpi::record_count<WireMsg>(slice);
+      for (std::size_t i = 0; i < n; ++i) {
+        eng.handle(mpi::nth_record<WireMsg>(slice, i));
+      }
+    }
+    eng.drain_local();
+
+    const std::int64_t remaining =
+        co_await comm.allreduce_sum(eng.active_cross());
+    if (remaining == 0) break;
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = rounds;
+  co_return;
+}
+
+}  // namespace mel::match

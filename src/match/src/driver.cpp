@@ -1,0 +1,118 @@
+#include "mel/match/driver.hpp"
+
+#include <algorithm>
+
+#include "mel/match/verify.hpp"
+#include "mel/mpi/machine.hpp"
+
+namespace mel::match {
+
+RunResult run_match(const graph::DistGraph& dg, Model model,
+                    const RunConfig& cfg) {
+  const int p = dg.nranks();
+  sim::Simulator simulator(p);
+  mpi::Machine machine(simulator, net::Network(p, cfg.net));
+
+  // Distributed-graph process topology from the ghost structure.
+  for (Rank r = 0; r < p; ++r) {
+    machine.set_topology(r, dg.local(r).neighbor_ranks);
+  }
+  machine.validate_topology();
+  if (cfg.tracer != nullptr) machine.set_tracer(cfg.tracer);
+
+  // RMA window allocation (host side, like MPI_Win_allocate at startup).
+  int window_id = -1;
+  if (model == Model::kRma || model == Model::kRmaFence) {
+    std::vector<std::size_t> sizes(p);
+    for (Rank r = 0; r < p; ++r) {
+      sizes[r] = model == Model::kRma ? rma_window_bytes(dg.local(r))
+                                      : rma_fence_window_bytes(dg.local(r));
+    }
+    window_id = machine.allocate_window(sizes);
+  }
+  // Staging-buffer accounting for the memory model.
+  for (Rank r = 0; r < p; ++r) {
+    machine.account_buffer(r, backend_buffer_bytes(model, dg.local(r)));
+  }
+
+  std::vector<std::vector<VertexId>> mates(p);
+  std::vector<std::uint64_t> iterations(p, 0);
+  for (Rank r = 0; r < p; ++r) {
+    mpi::Comm& comm = machine.comm(r);
+    const graph::LocalGraph& lg = dg.local(r);
+    switch (model) {
+      case Model::kNsr:
+        simulator.spawn(r, nsr_matcher(comm, lg, dg.dist(), false, &mates[r],
+                                       &iterations[r]));
+        break;
+      case Model::kMbp:
+        simulator.spawn(r, nsr_matcher(comm, lg, dg.dist(), true, &mates[r],
+                                       &iterations[r]));
+        break;
+      case Model::kRma:
+        simulator.spawn(r, rma_matcher(comm, lg, dg.dist(), window_id,
+                                       &mates[r], &iterations[r]));
+        break;
+      case Model::kNcl:
+        simulator.spawn(
+            r, ncl_matcher(comm, lg, dg.dist(), &mates[r], &iterations[r]));
+        break;
+      case Model::kNsrAgg:
+        simulator.spawn(r, nsr_agg_matcher(comm, lg, dg.dist(), &mates[r],
+                                           &iterations[r]));
+        break;
+      case Model::kRmaFence:
+        simulator.spawn(r, rma_fence_matcher(comm, lg, dg.dist(), window_id,
+                                             &mates[r], &iterations[r]));
+        break;
+      case Model::kNclNb:
+        simulator.spawn(
+            r, ncl_nb_matcher(comm, lg, dg.dist(), &mates[r], &iterations[r]));
+        break;
+    }
+  }
+
+  simulator.run();
+
+  RunResult result;
+  result.model = model;
+  result.nranks = p;
+  result.time = simulator.max_rank_time();
+  result.sim_events = simulator.events_executed();
+  result.totals = machine.total_counters();
+  result.per_rank.reserve(p);
+  for (Rank r = 0; r < p; ++r) {
+    result.per_rank.push_back(machine.counters(r));
+    result.comm_buffer_bytes.push_back(machine.buffer_bytes(r) +
+                                       machine.peak_mailbox_bytes(r));
+    result.state_bytes.push_back(dg.local(r).byte_size());
+    result.peak_queued_msgs.push_back(machine.peak_mailbox_msgs(r));
+    result.peak_inflight_msgs.push_back(machine.peak_inflight_sends(r));
+    result.iterations = std::max(result.iterations, iterations[r]);
+  }
+  if (cfg.collect_matrix) {
+    result.matrix = std::make_unique<mpi::CommMatrix>(machine.matrix());
+  }
+
+  // Assemble the global matching.
+  result.matching.mate.assign(static_cast<std::size_t>(dg.nverts()),
+                              kNullVertex);
+  for (Rank r = 0; r < p; ++r) {
+    const VertexId base = dg.local(r).vbegin;
+    for (std::size_t i = 0; i < mates[r].size(); ++i) {
+      result.matching.mate[static_cast<std::size_t>(base) + i] = mates[r][i];
+    }
+  }
+  result.matching.cardinality = matching_cardinality(result.matching.mate);
+  return result;
+}
+
+RunResult run_match(const graph::Csr& g, int nranks, Model model,
+                    const RunConfig& cfg) {
+  const graph::DistGraph dg(g, nranks);
+  RunResult result = run_match(dg, model, cfg);
+  result.matching.weight = matching_weight(g, result.matching.mate);
+  return result;
+}
+
+}  // namespace mel::match

@@ -1,0 +1,228 @@
+#include "mel/match/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mel::match {
+
+LocalMatcher::LocalMatcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                           const graph::Distribution& dist)
+    : comm_(comm), lg_(lg), dist_(dist) {
+  const VertexId n = lg.nlocal();
+  sorted_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  sorted_adj_.reserve(lg.adj.size());
+  for (VertexId lv = 0; lv < n; ++lv) {
+    const VertexId v = lg.vbegin + lv;
+    const std::size_t row = sorted_adj_.size();
+    for (EdgeId i = lg.offsets[lv]; i < lg.offsets[lv + 1]; ++i) {
+      sorted_adj_.push_back(SortedEntry{lg.adj[i].to, lg.adj[i].w, i});
+    }
+    std::sort(sorted_adj_.begin() + row, sorted_adj_.end(),
+              [v](const SortedEntry& a, const SortedEntry& b) {
+                return edge_key(v, b.to, b.w) < edge_key(v, a.to, a.w);
+              });
+    sorted_offsets_[lv + 1] = static_cast<EdgeId>(sorted_adj_.size());
+  }
+  cursor_.assign(sorted_offsets_.begin(), sorted_offsets_.end() - 1);
+  dead_.assign(lg.adj.size(), 0);
+  incoming_req_.assign(lg.adj.size(), 0);
+  mate_.assign(static_cast<std::size_t>(n), kNullVertex);
+  cand_.assign(static_cast<std::size_t>(n), kNullVertex);
+  active_cross_ = lg.total_ghost_edges;
+}
+
+std::size_t LocalMatcher::state_bytes() const {
+  return sorted_offsets_.size() * sizeof(EdgeId) +
+         sorted_adj_.size() * sizeof(SortedEntry) +
+         cursor_.size() * sizeof(EdgeId) + dead_.size() + incoming_req_.size() +
+         (mate_.size() + cand_.size()) * sizeof(VertexId);
+}
+
+EdgeId LocalMatcher::entry_index(VertexId x, VertexId y) const {
+  const VertexId lx = local_index(x);
+  const graph::Adj* begin = lg_.adj.data() + lg_.offsets[lx];
+  const graph::Adj* end = lg_.adj.data() + lg_.offsets[lx + 1];
+  const graph::Adj* it = std::lower_bound(
+      begin, end, y,
+      [](const graph::Adj& a, VertexId target) { return a.to < target; });
+  if (it == end || it->to != y) {
+    throw std::logic_error("LocalMatcher: message for a nonexistent edge");
+  }
+  return static_cast<EdgeId>(it - lg_.adj.data());
+}
+
+bool LocalMatcher::deactivate(EdgeId orig_index) {
+  if (dead_[orig_index]) return false;
+  dead_[orig_index] = 1;
+  if (!owned(lg_.adj[orig_index].to)) --active_cross_;
+  return true;
+}
+
+void LocalMatcher::push(Ctx ctx, VertexId target, VertexId source) {
+  outbox_.push_back(
+      Outgoing{dist_.owner(target),
+               WireMsg{target, source, static_cast<std::int32_t>(ctx), 0}});
+}
+
+void LocalMatcher::match_pair_local(VertexId x, VertexId y) {
+  mate_[local_index(x)] = y;
+  mate_[local_index(y)] = x;
+  // Deactivate the matched edge in both directions.
+  deactivate(entry_index(x, y));
+  deactivate(entry_index(y, x));
+  matched_queue_.push_back(x);
+  matched_queue_.push_back(y);
+}
+
+void LocalMatcher::find_mate(VertexId x) {
+  const VertexId lx = local_index(x);
+  if (mate_[lx] != kNullVertex) return;
+  comm_.compute_vertices(1);
+
+  EdgeId& c = cursor_[lx];
+  const EdgeId row_end = sorted_offsets_[lx + 1];
+  const EdgeId scan_start = c;
+  VertexId candidate = kNullVertex;
+  while (c < row_end) {
+    const SortedEntry& e = sorted_adj_[c];
+    if (e.w <= 0) break;  // sorted descending: nothing matchable remains
+    if (dead_[e.orig]) {
+      ++c;
+      continue;
+    }
+    if (owned(e.to) && mate_[local_index(e.to)] != kNullVertex) {
+      ++c;  // permanently unavailable
+      continue;
+    }
+    candidate = e.to;
+    break;
+  }
+  comm_.compute_edges(c - scan_start + 1);
+  cand_[lx] = candidate;
+
+  if (candidate == kNullVertex) {
+    // No matchable edge left: eagerly invalidate every still-active edge
+    // (all have weight <= 0 or are cross edges already doomed) so peers
+    // stop considering x (paper Fig 3 case 5).
+    for (EdgeId i = lg_.offsets[lx]; i < lg_.offsets[lx + 1]; ++i) {
+      if (dead_[i]) continue;
+      const VertexId z = lg_.adj[i].to;
+      if (owned(z)) {
+        deactivate(i);
+        deactivate(entry_index(z, x));
+        if (mate_[local_index(z)] == kNullVertex &&
+            cand_[local_index(z)] == x) {
+          refind_queue_.push_back(z);
+        }
+      } else {
+        deactivate(i);
+        push(Ctx::kInvalid, z, x);
+      }
+    }
+    return;
+  }
+
+  if (owned(candidate)) {
+    if (cand_[local_index(candidate)] == x) match_pair_local(x, candidate);
+  } else {
+    // Cross edge: initiate a matching request; the edge stays active on
+    // this side until the outcome (mutual REQUEST or REJECT/INVALID)
+    // arrives. If the ghost already requested us (deferred REQUEST), this
+    // is the mutual case: match now; the peer matches when our REQUEST
+    // lands.
+    push(Ctx::kRequest, candidate, x);
+    const EdgeId idx = entry_index(x, candidate);
+    if (incoming_req_[idx]) {
+      mate_[lx] = candidate;
+      deactivate(idx);
+      matched_queue_.push_back(x);
+    }
+  }
+}
+
+void LocalMatcher::process_neighbors(VertexId v) {
+  const VertexId lv = local_index(v);
+  const VertexId m = mate_[lv];
+  comm_.compute_edges(lg_.offsets[lv + 1] - lg_.offsets[lv]);
+  for (EdgeId i = lg_.offsets[lv]; i < lg_.offsets[lv + 1]; ++i) {
+    if (dead_[i]) continue;
+    const VertexId x = lg_.adj[i].to;
+    if (x == m) continue;  // the matched edge itself (already dead anyway)
+    if (owned(x)) {
+      deactivate(i);
+      deactivate(entry_index(x, v));
+      if (mate_[local_index(x)] == kNullVertex &&
+          cand_[local_index(x)] == v) {
+        refind_queue_.push_back(x);
+      }
+    } else {
+      deactivate(i);
+      push(Ctx::kReject, x, v);
+    }
+  }
+}
+
+void LocalMatcher::handle(const WireMsg& msg) {
+  const VertexId x = msg.target;  // ours
+  const VertexId y = msg.source;  // theirs
+  if (!owned(x)) throw std::logic_error("LocalMatcher: misrouted message");
+  comm_.compute_vertices(1);
+  const EdgeId idx = entry_index(x, y);
+  const VertexId lx = local_index(x);
+
+  switch (static_cast<Ctx>(msg.ctx)) {
+    case Ctx::kRequest: {
+      if (dead_[idx]) return;  // our answer (REJECT) is already in flight
+      if (mate_[lx] == kNullVertex && cand_[lx] == y) {
+        // Mutual cross-edge match: the peer matched (or will match) when
+        // our own REQUEST reaches it.
+        mate_[lx] = y;
+        deactivate(idx);
+        matched_queue_.push_back(x);
+      } else if (mate_[lx] == kNullVertex) {
+        // x currently prefers a heavier edge. Defer: if that choice falls
+        // through, x may still pick y (Manne-Bisseling semantics; eager
+        // rejection would change the matching away from the locally-
+        // dominant fixed point).
+        incoming_req_[idx] = 1;
+      } else {
+        // Matched vertices have already rejected all live cross edges, so
+        // this is unreachable; answer defensively rather than wedge a peer.
+        deactivate(idx);
+        push(Ctx::kReject, y, x);
+      }
+      break;
+    }
+    case Ctx::kReject:
+    case Ctx::kInvalid: {
+      if (!deactivate(idx)) return;
+      if (mate_[lx] == kNullVertex && cand_[lx] == y) {
+        refind_queue_.push_back(x);
+      }
+      break;
+    }
+    default:
+      throw std::logic_error("LocalMatcher: unknown message context");
+  }
+}
+
+void LocalMatcher::drain_local() {
+  while (!matched_queue_.empty() || !refind_queue_.empty()) {
+    if (!matched_queue_.empty()) {
+      const VertexId v = matched_queue_.back();
+      matched_queue_.pop_back();
+      process_neighbors(v);
+    } else {
+      const VertexId x = refind_queue_.back();
+      refind_queue_.pop_back();
+      find_mate(x);
+    }
+  }
+}
+
+void LocalMatcher::start() {
+  for (VertexId v = lg_.vbegin; v < lg_.vend; ++v) find_mate(v);
+  drain_local();
+}
+
+}  // namespace mel::match

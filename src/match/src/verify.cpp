@@ -1,0 +1,60 @@
+#include "mel/match/verify.hpp"
+
+namespace mel::match {
+
+bool is_valid_matching(const Csr& g, std::span<const VertexId> mate) {
+  if (static_cast<VertexId>(mate.size()) != g.nverts()) return false;
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    const VertexId u = mate[v];
+    if (u == kNullVertex) continue;
+    if (u < 0 || u >= g.nverts() || u == v) return false;
+    if (mate[u] != v) return false;  // symmetry
+    bool adjacent = false;
+    for (const graph::Adj& a : g.neighbors(v)) {
+      if (a.to == u) {
+        adjacent = true;
+        break;
+      }
+    }
+    if (!adjacent) return false;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Csr& g, std::span<const VertexId> mate) {
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    if (mate[v] != kNullVertex) continue;
+    for (const graph::Adj& a : g.neighbors(v)) {
+      if (a.w > 0 && mate[a.to] == kNullVertex) return false;
+    }
+  }
+  return true;
+}
+
+double matching_weight(const Csr& g, std::span<const VertexId> mate) {
+  double total = 0.0;
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    const VertexId u = mate[v];
+    if (u == kNullVertex || u < v) continue;
+    for (const graph::Adj& a : g.neighbors(v)) {
+      if (a.to == u) {
+        total += a.w;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+EdgeId matching_cardinality(std::span<const VertexId> mate) {
+  EdgeId count = 0;
+  for (std::size_t v = 0; v < mate.size(); ++v) {
+    if (mate[v] != kNullVertex &&
+        static_cast<std::size_t>(mate[v]) > v) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mel::match

@@ -1,0 +1,224 @@
+// Machine: the global state of the simulated MPI job.
+//
+// One Machine spans all simulated ranks of a run. It owns mailboxes,
+// windows, topology and collective state, plus all accounting. Rank code
+// never touches Machine directly; it goes through its per-rank Comm view
+// (comm.hpp), whose awaiters call the "internal" sections below.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mel/mpi/counters.hpp"
+#include "mel/mpi/message.hpp"
+#include "mel/net/network.hpp"
+#include "mel/sim/simulator.hpp"
+
+namespace mel::mpi {
+
+class Comm;
+
+/// Reduction operator for global collectives.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Optional per-operation trace sink (see perf::ChromeTracer). Invoked
+/// with the rank, an operation category ("isend", "recv", "ncoll",
+/// "allreduce", "put", "flush", "fence", "compute", ...), and the
+/// operation's virtual [start, end) interval.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void record(Rank rank, const char* category, Time start,
+                      Time end) = 0;
+};
+
+class Machine {
+ public:
+  Machine(sim::Simulator& simulator, net::Network network);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  ~Machine();
+
+  int nranks() const { return net_.nranks(); }
+  sim::Simulator& simulator() { return sim_; }
+  const net::Network& network() const { return net_; }
+
+  /// The per-rank communicator view handed to rank coroutines.
+  Comm& comm(Rank rank);
+
+  /// Define the distributed-graph process topology for one rank
+  /// (MPI_Dist_graph_create_adjacent). Must be set before neighborhood
+  /// collectives run, and must be symmetric across ranks.
+  void set_topology(Rank rank, std::vector<Rank> neighbors);
+  const std::vector<Rank>& topology(Rank rank) const;
+
+  /// Validate topology symmetry (throws std::logic_error on violation).
+  void validate_topology() const;
+
+  /// Allocate an RMA window with the given per-rank sizes in bytes.
+  /// Returns the window id used with Comm::window(). Host-side setup;
+  /// mirrors MPI_Win_allocate done before the algorithm starts.
+  int allocate_window(const std::vector<std::size_t>& bytes_per_rank);
+
+  // -- Accounting ----------------------------------------------------------
+  const CommCounters& counters(Rank rank) const { return counters_[rank]; }
+  CommCounters total_counters() const;
+  const CommMatrix& matrix() const { return matrix_; }
+  /// Reset matrices and counters (e.g. to measure only the iterative phase).
+  void reset_accounting();
+
+  /// Explicitly registered communication-buffer bytes per rank (windows,
+  /// staging buffers, ...), for the memory model.
+  void account_buffer(Rank rank, std::size_t bytes);
+  std::size_t buffer_bytes(Rank rank) const { return buffer_bytes_[rank]; }
+  /// Peak bytes queued in a rank's mailbox (unexpected-message memory).
+  std::size_t peak_mailbox_bytes(Rank rank) const {
+    return peak_mailbox_bytes_[rank];
+  }
+  /// Peak number of messages queued in the mailbox at once.
+  std::uint64_t peak_mailbox_msgs(Rank rank) const {
+    return peak_mailbox_msgs_[rank];
+  }
+  /// Peak number of this rank's sends simultaneously in flight (posted,
+  /// not yet delivered) — a proxy for MPI-internal request/buffer memory.
+  std::uint64_t peak_inflight_sends(Rank rank) const {
+    return peak_inflight_sends_[rank];
+  }
+
+  // -- Internal API used by Comm and its awaiters ---------------------------
+  // (Conceptually private; public so the awaiter types stay simple.)
+
+  /// Post a nonblocking send: charges sender overhead, prices the wire
+  /// transfer, enforces per-(src,dst) non-overtaking, schedules delivery.
+  void isend(Rank src, Rank dst, int tag, std::span<const std::byte> data);
+
+  /// Nonblocking probe: charges the probe cost and peeks the mailbox for a
+  /// message visible at the rank's (post-charge) local clock.
+  std::optional<Envelope> iprobe(Rank rank, Rank src, int tag);
+
+  /// Try to complete a receive immediately (message already arrived).
+  /// On success, the rank clock is advanced past the arrival + recv cost.
+  bool try_recv(Rank rank, Rank src, int tag, Message& out);
+
+  /// True if anything is queued in the rank's mailbox (regardless of
+  /// arrival time relative to the rank's lagging clock).
+  bool iprobe_any_queued(Rank rank) const;
+
+  /// Park a rank until a matching message arrives. If `peek_only`, the
+  /// message is left in the mailbox (used by wait_message()). The ticket is
+  /// owned by the awaiter (it lives in the suspended coroutine frame); the
+  /// machine holds only a pointer, which is dropped when the waiter fires
+  /// or is cancelled.
+  struct RecvTicket {
+    Rank rank = -1;
+    Rank src = kAnySource;
+    int tag = kAnyTag;
+    bool peek_only = false;
+    sim::Simulator::Parked parked;
+    Time parked_clock = 0;
+    bool fired = false;
+    Message msg;  // filled on fire when !peek_only
+  };
+  void park_recv(RecvTicket* ticket);
+  void cancel_recv(RecvTicket* ticket);
+
+  /// One-sided put into window `win` of rank `target` at byte offset.
+  void put(int win, Rank origin, Rank target, std::size_t offset,
+           std::span<const std::byte> data);
+  /// Time at which all puts issued so far by `origin` on `win` complete.
+  Time put_completion_time(int win, Rank origin) const;
+  /// Time at which all puts issued so far by *any* rank on `win` complete
+  /// (used by active-target fence synchronization).
+  Time window_quiesce_time(int win) const;
+  /// Direct access to a rank's local window memory.
+  std::span<std::byte> window_memory(int win, Rank rank);
+  std::size_t window_size(int win, Rank rank) const;
+
+  /// Active-target fence on a window (MPI_Win_fence): a barrier over all
+  /// ranks that additionally waits for every outstanding put on the
+  /// window. `fence_out` receives the epoch completion time.
+  void fence_arrive(int win, Rank rank, sim::Simulator::Parked parked);
+
+  /// Neighborhood collective: rank arrives with one byte-slice per
+  /// topology neighbor (ordered as topology(rank)). Parks the rank; the
+  /// machine completes it once all neighbors arrive at the same sequence
+  /// number, depositing received slices into `recv_out`.
+  void neighbor_arrive(Rank rank, std::vector<std::vector<std::byte>> slices,
+                       std::vector<std::vector<std::byte>>* recv_out,
+                       sim::Simulator::Parked parked);
+
+  /// Split-phase (nonblocking) neighborhood collective: posts the
+  /// contribution without parking (MPI_Ineighbor_alltoallv). Complete it
+  /// later with neighbor_wait. At most one outstanding per rank.
+  void neighbor_begin(Rank rank, std::vector<std::vector<std::byte>> slices,
+                      std::vector<std::vector<std::byte>>* recv_out);
+  /// Park until the outstanding split-phase collective completes; if it
+  /// already completed, advances the clock to its completion time and
+  /// returns true (no parking needed).
+  bool neighbor_wait(Rank rank, sim::Simulator::Parked parked);
+
+  /// Global collectives (allreduce on int64 vectors / barrier): rank
+  /// arrives with its contribution; completes when all ranks arrive at the
+  /// same sequence number. `result_out` may be null (barrier). All ranks
+  /// must pass the same `op` for a given instance.
+  void global_arrive(Rank rank, std::vector<std::int64_t> contribution,
+                     ReduceOp op, std::vector<std::int64_t>* result_out,
+                     sim::Simulator::Parked parked);
+
+  /// Install (or clear, with nullptr) the operation tracer.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Record one completed operation interval if a tracer is installed.
+  void trace_op(Rank rank, const char* category, Time start) {
+    if (tracer_ != nullptr) {
+      tracer_->record(rank, category, start, sim_.rank_now(rank));
+    }
+  }
+
+  void add_comm_time(Rank rank, Time dt) { counters_[rank].comm_ns += dt; }
+  void add_compute_time(Rank rank, Time dt) {
+    counters_[rank].compute_ns += dt;
+  }
+  CommCounters& counters_mut(Rank rank) { return counters_[rank]; }
+
+ private:
+  void enqueue_accounting(Rank dst, std::size_t bytes);
+
+  struct Mailbox;
+  struct WindowState;
+  struct NeighborState;
+  struct GlobalCollState;
+
+  void deliver(Message msg);
+  void complete_neighbor_op(Rank rank, std::uint64_t seq);
+
+  sim::Simulator& sim_;
+  net::Network net_;
+
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::vector<Rank>> topology_;
+
+  std::vector<std::unique_ptr<WindowState>> windows_;
+  std::unique_ptr<NeighborState> neighbor_;
+  std::unique_ptr<GlobalCollState> global_;
+
+  Tracer* tracer_ = nullptr;
+  std::vector<CommCounters> counters_;
+  CommMatrix matrix_;
+  std::vector<Time> last_arrival_;  // per (src,dst), non-overtaking floor
+  std::vector<std::size_t> buffer_bytes_;
+  std::vector<std::size_t> mailbox_bytes_;
+  std::vector<std::size_t> peak_mailbox_bytes_;
+  std::vector<std::uint64_t> mailbox_msgs_;
+  std::vector<std::uint64_t> peak_mailbox_msgs_;
+  std::vector<std::uint64_t> inflight_sends_;
+  std::vector<std::uint64_t> peak_inflight_sends_;
+};
+
+}  // namespace mel::mpi

@@ -1,0 +1,83 @@
+// Message types and POD (de)serialization helpers for the simulated MPI.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "mel/sim/time.hpp"
+
+namespace mel::mpi {
+
+using sim::Rank;
+using sim::Time;
+
+/// Wildcard source for recv/iprobe matching (MPI_ANY_SOURCE).
+inline constexpr Rank kAnySource = -1;
+/// Wildcard tag for recv/iprobe matching (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// Per-message wire header bytes added to the payload when pricing and
+/// accounting transfers (envelope: src, tag, size).
+inline constexpr std::size_t kHeaderBytes = 16;
+
+/// A point-to-point message in flight or in a mailbox.
+struct Message {
+  Rank src = -1;
+  Rank dst = -1;
+  int tag = 0;
+  std::vector<std::byte> data;
+  Time sent_at = 0;
+  Time arrived_at = 0;
+};
+
+/// What MPI_Iprobe reveals about a pending message.
+struct Envelope {
+  Rank src = -1;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+/// Serialize a trivially-copyable record into a fresh byte vector.
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+std::vector<std::byte> to_bytes(const T& value) {
+  std::vector<std::byte> out(sizeof(T));
+  std::memcpy(out.data(), &value, sizeof(T));
+  return out;
+}
+
+/// View a trivially-copyable record as bytes (no copy; lifetime of `value`).
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+std::span<const std::byte> bytes_of(const T& value) {
+  return std::as_bytes(std::span<const T, 1>(&value, 1));
+}
+
+/// Deserialize a trivially-copyable record from bytes.
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+T from_bytes(std::span<const std::byte> data) {
+  T value;
+  std::memcpy(&value, data.data(), sizeof(T));
+  return value;
+}
+
+/// Deserialize the i-th record of a packed array of records.
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+T nth_record(std::span<const std::byte> data, std::size_t i) {
+  T value;
+  std::memcpy(&value, data.data() + i * sizeof(T), sizeof(T));
+  return value;
+}
+
+/// Number of packed records of type T in a byte span.
+template <class T>
+std::size_t record_count(std::span<const std::byte> data) {
+  return data.size() / sizeof(T);
+}
+
+}  // namespace mel::mpi

@@ -1,0 +1,617 @@
+#include "mel/mpi/machine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "mel/mpi/comm.hpp"
+
+namespace mel::mpi {
+
+// ---------------------------------------------------------------------------
+// Internal state structs
+// ---------------------------------------------------------------------------
+
+struct Machine::Mailbox {
+  std::deque<Message> arrived;
+  std::vector<RecvTicket*> waiters;  // in park order
+};
+
+struct Machine::WindowState {
+  std::vector<std::vector<std::byte>> mem;  // per rank
+  std::vector<Time> last_completion;        // per origin rank
+
+  // Active-target fence epochs (MPI_Win_fence): a per-window barrier that
+  // also drains every outstanding put on the window.
+  struct FenceInst {
+    int arrived = 0;
+    Time max_arrive = 0;
+    std::vector<sim::Simulator::Parked> waiters;
+  };
+  std::vector<std::uint64_t> fence_seq;  // per rank
+  std::map<std::uint64_t, FenceInst> fences;
+};
+
+struct Machine::NeighborState {
+  struct Call {
+    Time arrive = 0;
+    std::vector<std::vector<std::byte>> slices;  // per neighbor of caller
+    int consumers_left = 0;
+  };
+  struct Pending {
+    std::uint64_t seq = 0;
+    Time arrive = 0;
+    std::vector<std::vector<std::byte>>* recv_out = nullptr;
+    sim::Simulator::Parked parked;
+    int waiting_on = 0;
+    bool active = false;   // an op is outstanding
+    bool has_waiter = false;  // someone is parked on it
+    bool done = false;     // completion time computed, data scheduled
+    Time complete_at = 0;
+  };
+  std::vector<std::uint64_t> next_seq;
+  std::vector<std::map<std::uint64_t, Call>> calls;  // rank -> seq -> call
+  std::vector<Pending> pending;                      // at most one per rank
+};
+
+struct Machine::GlobalCollState {
+  struct Waiter {
+    Rank rank = -1;
+    std::vector<std::int64_t>* out = nullptr;
+    sim::Simulator::Parked parked;
+  };
+  struct Inst {
+    int arrived = 0;
+    Time max_arrive = 0;
+    std::vector<std::int64_t> acc;
+    ReduceOp op = ReduceOp::kSum;
+    bool op_set = false;
+    std::vector<Waiter> waiters;
+  };
+  std::vector<std::uint64_t> next_seq;  // per rank
+  std::map<std::uint64_t, Inst> insts;
+};
+
+// ---------------------------------------------------------------------------
+
+CommCounters& CommCounters::operator+=(const CommCounters& o) {
+  isends += o.isends;
+  recvs += o.recvs;
+  iprobes += o.iprobes;
+  puts += o.puts;
+  gets += o.gets;
+  flushes += o.flushes;
+  fences += o.fences;
+  neighbor_colls += o.neighbor_colls;
+  allreduces += o.allreduces;
+  barriers += o.barriers;
+  bytes_sent += o.bytes_sent;
+  bytes_put += o.bytes_put;
+  bytes_coll += o.bytes_coll;
+  comm_ns += o.comm_ns;
+  compute_ns += o.compute_ns;
+  return *this;
+}
+
+std::uint64_t CommMatrix::total_msgs() const {
+  std::uint64_t total = 0;
+  for (auto v : msgs_) total += v;
+  return total;
+}
+
+std::uint64_t CommMatrix::total_bytes() const {
+  std::uint64_t total = 0;
+  for (auto v : bytes_) total += v;
+  return total;
+}
+
+std::uint64_t CommMatrix::nonzero_pairs() const {
+  std::uint64_t total = 0;
+  for (auto v : msgs_) total += (v != 0);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+
+Machine::Machine(sim::Simulator& simulator, net::Network network)
+    : sim_(simulator),
+      net_(std::move(network)),
+      topology_(net_.nranks()),
+      counters_(net_.nranks()),
+      matrix_(net_.nranks()),
+      last_arrival_(static_cast<std::size_t>(net_.nranks()) * net_.nranks(), 0),
+      buffer_bytes_(net_.nranks(), 0),
+      mailbox_bytes_(net_.nranks(), 0),
+      peak_mailbox_bytes_(net_.nranks(), 0),
+      mailbox_msgs_(net_.nranks(), 0),
+      peak_mailbox_msgs_(net_.nranks(), 0),
+      inflight_sends_(net_.nranks(), 0),
+      peak_inflight_sends_(net_.nranks(), 0) {
+  if (net_.nranks() != sim_.nranks()) {
+    throw std::invalid_argument("Machine: simulator/network rank mismatch");
+  }
+  const int p = net_.nranks();
+  comms_.reserve(p);
+  mailboxes_.reserve(p);
+  for (Rank r = 0; r < p; ++r) {
+    comms_.push_back(std::make_unique<Comm>(*this, r));
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  neighbor_ = std::make_unique<NeighborState>();
+  neighbor_->next_seq.assign(p, 0);
+  neighbor_->calls.resize(p);
+  neighbor_->pending.resize(p);
+  global_ = std::make_unique<GlobalCollState>();
+  global_->next_seq.assign(p, 0);
+}
+
+Machine::~Machine() = default;
+
+Comm& Machine::comm(Rank rank) { return *comms_.at(rank); }
+
+void Machine::set_topology(Rank rank, std::vector<Rank> neighbors) {
+  for (Rank n : neighbors) {
+    if (n < 0 || n >= nranks() || n == rank) {
+      throw std::invalid_argument("set_topology: invalid neighbor rank");
+    }
+  }
+  topology_.at(rank) = std::move(neighbors);
+}
+
+const std::vector<Rank>& Machine::topology(Rank rank) const {
+  return topology_.at(rank);
+}
+
+void Machine::validate_topology() const {
+  for (Rank r = 0; r < nranks(); ++r) {
+    for (Rank n : topology_[r]) {
+      const auto& back = topology_[n];
+      if (std::find(back.begin(), back.end(), r) == back.end()) {
+        std::ostringstream os;
+        os << "asymmetric process topology: " << r << " -> " << n
+           << " has no reverse edge";
+        throw std::logic_error(os.str());
+      }
+    }
+    std::set<Rank> uniq(topology_[r].begin(), topology_[r].end());
+    if (uniq.size() != topology_[r].size()) {
+      throw std::logic_error("duplicate neighbor in process topology");
+    }
+  }
+}
+
+int Machine::allocate_window(const std::vector<std::size_t>& bytes_per_rank) {
+  if (static_cast<int>(bytes_per_rank.size()) != nranks()) {
+    throw std::invalid_argument("allocate_window: need one size per rank");
+  }
+  auto ws = std::make_unique<WindowState>();
+  ws->mem.resize(nranks());
+  ws->last_completion.assign(nranks(), 0);
+  ws->fence_seq.assign(nranks(), 0);
+  for (Rank r = 0; r < nranks(); ++r) {
+    ws->mem[r].assign(bytes_per_rank[r], std::byte{0});
+    account_buffer(r, bytes_per_rank[r]);
+  }
+  windows_.push_back(std::move(ws));
+  return static_cast<int>(windows_.size()) - 1;
+}
+
+CommCounters Machine::total_counters() const {
+  CommCounters total;
+  for (const auto& c : counters_) total += c;
+  return total;
+}
+
+void Machine::reset_accounting() {
+  for (auto& c : counters_) c = CommCounters{};
+  matrix_ = CommMatrix(nranks());
+  std::fill(buffer_bytes_.begin(), buffer_bytes_.end(), 0);
+  std::fill(peak_mailbox_bytes_.begin(), peak_mailbox_bytes_.end(), 0);
+}
+
+void Machine::account_buffer(Rank rank, std::size_t bytes) {
+  buffer_bytes_.at(rank) += bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+void Machine::isend(Rank src, Rank dst, int tag,
+                    std::span<const std::byte> data) {
+  if (dst < 0 || dst >= nranks()) {
+    throw std::invalid_argument("isend: bad destination rank");
+  }
+  const auto& p = net_.params();
+  auto& c = counters_[src];
+  c.isends += 1;
+  c.bytes_sent += data.size();
+  c.comm_ns += p.o_send;
+  const Time isend_start = sim_.rank_now(src);
+  sim_.charge(src, p.o_send);
+  trace_op(src, "isend", isend_start);
+  matrix_.record(src, dst, data.size() + kHeaderBytes);
+
+  const Time wire = net_.transfer_time(src, dst, data.size() + kHeaderBytes);
+  Time arrival = sim_.rank_now(src) + wire;
+  // MPI non-overtaking: messages on the same (src, dst) channel are
+  // delivered in send order regardless of size.
+  Time& floor = last_arrival_[static_cast<std::size_t>(src) * nranks() + dst];
+  arrival = std::max(arrival, floor + 1);
+  floor = arrival;
+
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.data.assign(data.begin(), data.end());
+  msg.sent_at = sim_.rank_now(src);
+  msg.arrived_at = arrival;
+  inflight_sends_[src] += 1;
+  peak_inflight_sends_[src] =
+      std::max(peak_inflight_sends_[src], inflight_sends_[src]);
+  sim_.schedule(arrival, [this, src, m = std::move(msg)]() mutable {
+    inflight_sends_[src] -= 1;
+    deliver(std::move(m));
+  });
+}
+
+namespace {
+bool matches(const Message& m, Rank src, int tag) {
+  return (src == kAnySource || m.src == src) && (tag == kAnyTag || m.tag == tag);
+}
+}  // namespace
+
+void Machine::deliver(Message msg) {
+  auto& box = *mailboxes_[msg.dst];
+  const Rank dst = msg.dst;
+  // Try to satisfy a parked waiter first (in park order).
+  for (auto it = box.waiters.begin(); it != box.waiters.end(); ++it) {
+    RecvTicket* t = *it;
+    if (!matches(msg, t->src, t->tag)) continue;
+    box.waiters.erase(it);
+    t->fired = true;
+    if (t->peek_only) {
+      // Leave the message in the mailbox for a later recv.
+      enqueue_accounting(dst, msg.data.size());
+      const Time wake_at = std::max(t->parked_clock, msg.arrived_at);
+      box.arrived.push_back(std::move(msg));
+      sim_.wake(t->parked, wake_at);
+    } else {
+      const Time wake_at = std::max(t->parked_clock, msg.arrived_at) +
+                           net_.params().o_recv;
+      t->msg = std::move(msg);
+      counters_[dst].recvs += 1;
+      sim_.wake(t->parked, wake_at);
+    }
+    return;
+  }
+  enqueue_accounting(dst, msg.data.size());
+  box.arrived.push_back(std::move(msg));
+}
+
+void Machine::enqueue_accounting(Rank dst, std::size_t bytes) {
+  mailbox_bytes_[dst] += bytes;
+  peak_mailbox_bytes_[dst] =
+      std::max(peak_mailbox_bytes_[dst], mailbox_bytes_[dst]);
+  mailbox_msgs_[dst] += 1;
+  peak_mailbox_msgs_[dst] = std::max(peak_mailbox_msgs_[dst], mailbox_msgs_[dst]);
+}
+
+std::optional<Envelope> Machine::iprobe(Rank rank, Rank src, int tag) {
+  const auto& p = net_.params();
+  sim_.charge(rank, p.o_iprobe);
+  counters_[rank].iprobes += 1;
+  counters_[rank].comm_ns += p.o_iprobe;
+  const Time now = sim_.rank_now(rank);
+  for (const Message& m : mailboxes_[rank]->arrived) {
+    if (m.arrived_at <= now && matches(m, src, tag)) {
+      return Envelope{m.src, m.tag, m.data.size()};
+    }
+  }
+  return std::nullopt;
+}
+
+bool Machine::try_recv(Rank rank, Rank src, int tag, Message& out) {
+  auto& box = *mailboxes_[rank];
+  for (auto it = box.arrived.begin(); it != box.arrived.end(); ++it) {
+    if (!matches(*it, src, tag)) continue;
+    const auto& p = net_.params();
+    // Completing a recv of a message that is still "in flight" relative to
+    // this rank's (lagging) clock simply waits until its arrival.
+    if (it->arrived_at > sim_.rank_now(rank)) {
+      sim_.charge(rank, it->arrived_at - sim_.rank_now(rank));
+    }
+    sim_.charge(rank, p.o_recv);
+    out = std::move(*it);
+    mailbox_bytes_[rank] -= out.data.size();
+    mailbox_msgs_[rank] -= 1;
+    box.arrived.erase(it);
+    counters_[rank].recvs += 1;
+    return true;
+  }
+  return false;
+}
+
+bool Machine::iprobe_any_queued(Rank rank) const {
+  return !mailboxes_[rank]->arrived.empty();
+}
+
+void Machine::park_recv(RecvTicket* ticket) {
+  ticket->parked_clock = sim_.rank_now(ticket->rank);
+  mailboxes_[ticket->rank]->waiters.push_back(ticket);
+}
+
+void Machine::cancel_recv(RecvTicket* ticket) {
+  auto& waiters = mailboxes_[ticket->rank]->waiters;
+  waiters.erase(std::remove(waiters.begin(), waiters.end(), ticket),
+                waiters.end());
+}
+
+// ---------------------------------------------------------------------------
+// RMA
+// ---------------------------------------------------------------------------
+
+void Machine::put(int win, Rank origin, Rank target, std::size_t offset,
+                  std::span<const std::byte> data) {
+  auto& ws = *windows_.at(win);
+  if (offset + data.size() > ws.mem.at(target).size()) {
+    throw std::out_of_range("Window::put past end of target window");
+  }
+  const auto& p = net_.params();
+  const Time put_start = sim_.rank_now(origin);
+  sim_.charge(origin, p.o_put);
+  trace_op(origin, "put", put_start);
+  auto& c = counters_[origin];
+  c.puts += 1;
+  c.bytes_put += data.size();
+  c.comm_ns += p.o_put;
+  matrix_.record(origin, target, data.size() + kHeaderBytes);
+
+  const Time completion =
+      sim_.rank_now(origin) +
+      net_.transfer_time(origin, target, data.size() + kHeaderBytes);
+  ws.last_completion[origin] = std::max(ws.last_completion[origin], completion);
+  std::vector<std::byte> payload(data.begin(), data.end());
+  sim_.schedule(completion,
+                [&ws, target, offset, payload = std::move(payload)] {
+                  std::memcpy(ws.mem[target].data() + offset, payload.data(),
+                              payload.size());
+                });
+}
+
+Time Machine::put_completion_time(int win, Rank origin) const {
+  return windows_.at(win)->last_completion.at(origin);
+}
+
+Time Machine::window_quiesce_time(int win) const {
+  Time t = 0;
+  for (const Time c : windows_.at(win)->last_completion) t = std::max(t, c);
+  return t;
+}
+
+void Machine::fence_arrive(int win, Rank rank, sim::Simulator::Parked parked) {
+  auto& ws = *windows_.at(win);
+  const auto& p = net_.params();
+  sim_.charge(rank, p.o_coll_base);
+  counters_[rank].fences += 1;
+
+  const std::uint64_t seq = ws.fence_seq[rank]++;
+  auto& inst = ws.fences[seq];
+  inst.arrived += 1;
+  inst.max_arrive = std::max(inst.max_arrive, sim_.rank_now(rank));
+  inst.waiters.push_back(parked);
+  if (inst.arrived == nranks()) {
+    // The epoch closes when every rank arrived and every outstanding put
+    // on the window has landed, plus a dissemination barrier.
+    const Time complete = std::max(inst.max_arrive, window_quiesce_time(win)) +
+                          net_.reduction_time();
+    for (const auto& w : inst.waiters) sim_.wake(w, complete);
+    ws.fences.erase(seq);
+  }
+}
+
+std::span<std::byte> Machine::window_memory(int win, Rank rank) {
+  auto& mem = windows_.at(win)->mem.at(rank);
+  return {mem.data(), mem.size()};
+}
+
+std::size_t Machine::window_size(int win, Rank rank) const {
+  return windows_.at(win)->mem.at(rank).size();
+}
+
+// ---------------------------------------------------------------------------
+// Neighborhood collectives
+// ---------------------------------------------------------------------------
+
+void Machine::neighbor_begin(Rank rank,
+                             std::vector<std::vector<std::byte>> slices,
+                             std::vector<std::vector<std::byte>>* recv_out) {
+  auto& st = *neighbor_;
+  const auto& topo = topology_[rank];
+  if (slices.size() != topo.size()) {
+    throw std::invalid_argument(
+        "neighbor collective: one slice per topology neighbor required");
+  }
+  const Time entry = net_.collective_entry(static_cast<int>(topo.size()));
+  sim_.charge(rank, entry);
+
+  std::size_t total_bytes = 0;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    total_bytes += slices[i].size();
+    matrix_.record(rank, topo[i], slices[i].size() + kHeaderBytes);
+  }
+  // Staging copy into the collective's send buffer.
+  sim_.charge(rank, net_.copy_time(total_bytes));
+  auto& c = counters_[rank];
+  c.neighbor_colls += 1;
+  c.bytes_coll += total_bytes;
+
+  const std::uint64_t seq = st.next_seq[rank]++;
+  const Time arrive = sim_.rank_now(rank);
+  st.calls[rank].emplace(
+      seq, NeighborState::Call{arrive, std::move(slices),
+                               static_cast<int>(topo.size())});
+
+  auto& pend = st.pending[rank];
+  if (pend.active) throw std::logic_error("rank already in neighbor collective");
+  int waiting = 0;
+  for (Rank n : topo) {
+    if (st.calls[n].find(seq) == st.calls[n].end()) ++waiting;
+  }
+  pend = NeighborState::Pending{};
+  pend.seq = seq;
+  pend.arrive = arrive;
+  pend.recv_out = recv_out;
+  pend.waiting_on = waiting;
+  pend.active = true;
+
+  if (waiting == 0) complete_neighbor_op(rank, seq);
+  // This arrival may unblock neighbors stuck at the same sequence number.
+  for (Rank n : topo) {
+    auto& np = st.pending[n];
+    if (np.active && !np.done && np.seq == seq && np.waiting_on > 0) {
+      if (--np.waiting_on == 0) complete_neighbor_op(n, seq);
+    }
+  }
+}
+
+bool Machine::neighbor_wait(Rank rank, sim::Simulator::Parked parked) {
+  auto& pend = neighbor_->pending[rank];
+  if (!pend.active) {
+    throw std::logic_error("neighbor_wait without an outstanding collective");
+  }
+  if (pend.has_waiter) {
+    throw std::logic_error("neighbor collective already has a waiter");
+  }
+  if (pend.done) {
+    // Completed while we were computing: resume once the (already
+    // scheduled) data-fill event has run.
+    pend.active = false;
+    sim_.wake(parked, std::max(sim_.rank_now(rank), pend.complete_at));
+    return true;
+  }
+  pend.parked = parked;
+  pend.has_waiter = true;
+  return false;
+}
+
+void Machine::neighbor_arrive(Rank rank,
+                              std::vector<std::vector<std::byte>> slices,
+                              std::vector<std::vector<std::byte>>* recv_out,
+                              sim::Simulator::Parked parked) {
+  neighbor_begin(rank, std::move(slices), recv_out);
+  (void)neighbor_wait(rank, parked);
+}
+
+void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
+  auto& st = *neighbor_;
+  const auto& topo = topology_[rank];
+  auto& pend = st.pending[rank];
+
+  // Use the pending record's own arrival time: this rank's *call* record
+  // may already have been consumed and erased by faster neighbors.
+  Time ready = pend.arrive;
+  Time wire = 0;
+  std::size_t recv_bytes = 0;
+  std::vector<std::vector<std::byte>> data(topo.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    const Rank n = topo[i];
+    auto it = st.calls[n].find(seq);
+    auto& call = it->second;
+    ready = std::max(ready, call.arrive);
+    // Find my position in n's neighbor list to pick the slice meant for me.
+    const auto& ntopo = topology_[n];
+    const auto pos = static_cast<std::size_t>(
+        std::find(ntopo.begin(), ntopo.end(), rank) - ntopo.begin());
+    data[i] = call.slices.at(pos);
+    recv_bytes += data[i].size();
+    // Pairwise-exchange cost model: a neighborhood collective on k
+    // neighbors degenerates into ~k sequential point-to-point exchanges
+    // (this is how MPI implementations realize Neighbor_alltoall(v) on
+    // arbitrary dist-graph topologies). Dense process neighborhoods —
+    // stochastic block / social graphs, Tables III-IV — therefore pay a
+    // latency per neighbor, which is precisely why the paper sees NCL/RMA
+    // degrade there while staying fast on bounded neighborhoods (RGG).
+    wire += net_.transfer_time(n, rank, data[i].size() + kHeaderBytes);
+    if (--call.consumers_left == 0) st.calls[n].erase(it);
+  }
+  // A rank with no neighbors completes instantly; its own call has no
+  // consumers, so drop it now.
+  if (topo.empty()) st.calls[rank].erase(seq);
+
+  const Time complete = ready + wire + net_.copy_time(recv_bytes);
+  auto* out = pend.recv_out;
+  pend.done = true;
+  pend.complete_at = complete;
+  sim_.schedule(complete, [out, d = std::move(data)]() mutable {
+    *out = std::move(d);
+  });
+  if (pend.has_waiter) {
+    pend.active = false;
+    sim_.wake(pend.parked, complete);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Global collectives
+// ---------------------------------------------------------------------------
+
+void Machine::global_arrive(Rank rank, std::vector<std::int64_t> contribution,
+                            ReduceOp op, std::vector<std::int64_t>* result_out,
+                            sim::Simulator::Parked parked) {
+  auto& st = *global_;
+  const auto& p = net_.params();
+  sim_.charge(rank, p.o_coll_base);
+  auto& c = counters_[rank];
+  if (result_out != nullptr) {
+    c.allreduces += 1;
+  } else {
+    c.barriers += 1;
+  }
+
+  const std::uint64_t seq = st.next_seq[rank]++;
+  auto& inst = st.insts[seq];
+  if (!inst.op_set) {
+    inst.op = op;
+    inst.op_set = true;
+  } else if (inst.op != op) {
+    throw std::logic_error("allreduce: mismatched ReduceOp across ranks");
+  }
+  if (inst.acc.size() < contribution.size()) {
+    const std::int64_t identity =
+        op == ReduceOp::kSum ? 0
+        : op == ReduceOp::kMax ? std::numeric_limits<std::int64_t>::min()
+                               : std::numeric_limits<std::int64_t>::max();
+    inst.acc.resize(contribution.size(), identity);
+  }
+  for (std::size_t i = 0; i < contribution.size(); ++i) {
+    switch (op) {
+      case ReduceOp::kSum: inst.acc[i] += contribution[i]; break;
+      case ReduceOp::kMax: inst.acc[i] = std::max(inst.acc[i], contribution[i]); break;
+      case ReduceOp::kMin: inst.acc[i] = std::min(inst.acc[i], contribution[i]); break;
+    }
+  }
+  inst.max_arrive = std::max(inst.max_arrive, sim_.rank_now(rank));
+  inst.waiters.push_back({rank, result_out, parked});
+  inst.arrived += 1;
+
+  if (inst.arrived == nranks()) {
+    const Time complete = inst.max_arrive + net_.reduction_time();
+    auto acc = std::make_shared<std::vector<std::int64_t>>(std::move(inst.acc));
+    for (const auto& w : inst.waiters) {
+      if (w.out != nullptr) {
+        sim_.schedule(complete, [out = w.out, acc] { *out = *acc; });
+      }
+      sim_.wake(w.parked, complete);
+    }
+    st.insts.erase(seq);
+  }
+}
+
+}  // namespace mel::mpi

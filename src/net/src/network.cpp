@@ -1,0 +1,49 @@
+#include "mel/net/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mel::net {
+
+Network::Network(int nranks, const Params& params)
+    : nranks_(nranks), params_(params) {
+  if (nranks <= 0) throw std::invalid_argument("Network: nranks must be > 0");
+  if (params.ranks_per_node <= 0) {
+    throw std::invalid_argument("Network: ranks_per_node must be > 0");
+  }
+  nnodes_ = (nranks + params.ranks_per_node - 1) / params.ranks_per_node;
+}
+
+Time Network::transfer_time(Rank src, Rank dst, std::size_t bytes) const {
+  if (src == dst) {
+    // Self sends still pay a (small) copy through shared memory.
+    return params_.alpha_intra / 2 +
+           static_cast<Time>(static_cast<double>(bytes) * params_.beta_intra * 0.5);
+  }
+  const bool intra = same_node(src, dst);
+  const Time alpha = intra ? params_.alpha_intra : params_.alpha_inter;
+  const double beta = intra ? params_.beta_intra : params_.beta_inter;
+  return alpha + static_cast<Time>(static_cast<double>(bytes) * beta);
+}
+
+Time Network::collective_entry(int neighbors) const {
+  return params_.o_coll_base +
+         params_.o_coll_per_neighbor * static_cast<Time>(neighbors);
+}
+
+Time Network::reduction_time() const {
+  int stages = 0;
+  int span = 1;
+  while (span < nranks_) {
+    span <<= 1;
+    ++stages;
+  }
+  return params_.o_reduce_hop * static_cast<Time>(stages == 0 ? 1 : stages);
+}
+
+Time Network::copy_time(std::size_t bytes) const {
+  return params_.copy_per_byte * static_cast<Time>(bytes) +
+         (params_.copy_per_kib * static_cast<Time>(bytes)) / 1024;
+}
+
+}  // namespace mel::net

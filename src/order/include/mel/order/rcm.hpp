@@ -1,0 +1,40 @@
+// Vertex reordering: Reverse Cuthill-McKee bandwidth reduction (§V-C of
+// the paper) plus identity/random permutations for comparison.
+//
+// A permutation is a vector perm with new_id = perm[old_id]; apply it with
+// Csr::permuted(perm).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mel/graph/csr.hpp"
+
+namespace mel::order {
+
+using graph::Csr;
+using graph::VertexId;
+
+/// Reverse Cuthill-McKee: per connected component, BFS from a
+/// pseudo-peripheral vertex visiting neighbors in increasing-degree order;
+/// the final labeling is the reverse of the visit order. Linear time.
+std::vector<VertexId> rcm(const Csr& g);
+
+/// Identity permutation.
+std::vector<VertexId> identity(VertexId n);
+
+/// Uniform random permutation (deterministic in seed).
+std::vector<VertexId> random_order(VertexId n, std::uint64_t seed);
+
+/// Permutation that displaces ~frac of the vertices to random positions
+/// (by transposition) and leaves the rest in place: models orderings that
+/// are mostly but not perfectly local, e.g. k-mer graphs assembled out of
+/// order.
+std::vector<VertexId> partial_shuffle(VertexId n, double frac,
+                                      std::uint64_t seed);
+
+/// True iff perm is a bijection on [0, perm.size()).
+bool is_permutation(std::span<const VertexId> perm);
+
+}  // namespace mel::order

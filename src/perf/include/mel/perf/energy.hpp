@@ -1,0 +1,46 @@
+// Power/energy and memory models standing in for CrayPat (paper Table
+// VIII). See DESIGN.md §2 for the substitution argument: the paper's
+// qualitative story follows from runtime, buffer sizes and the
+// compute/communication split, all of which the simulator measures.
+#pragma once
+
+#include "mel/match/driver.hpp"
+#include "mel/net/network.hpp"
+
+namespace mel::perf {
+
+struct EnergyParams {
+  /// Cori Haswell-like node envelope.
+  double node_idle_watts = 95.0;
+  double node_dynamic_watts = 255.0;  // extra at full utilization
+
+  /// MPI-internal memory charged per simultaneously pending message
+  /// (request object + envelope + bounce buffer); drives the Send-Recv
+  /// memory penalty for unaggregated traffic.
+  double per_pending_message_bytes = 768.0;
+  /// Baseline per-process footprint (runtime, heap slack).
+  double base_process_bytes = 4.0 * 1024 * 1024;
+};
+
+struct EnergyReport {
+  double node_power_kw = 0.0;   // average power of one node
+  double node_energy_kj = 0.0;  // total energy over all nodes
+  double edp = 0.0;             // energy (J) x delay (s)
+  double comp_pct = 0.0;        // explicit local compute share
+  double mpi_pct = 0.0;         // time inside communication calls
+};
+
+EnergyReport energy_report(const match::RunResult& run,
+                           const net::Params& net,
+                           const EnergyParams& params = {});
+
+struct MemoryReport {
+  double avg_bytes_per_rank = 0.0;
+  double max_bytes_per_rank = 0.0;
+  double avg_mb_per_rank() const { return avg_bytes_per_rank / (1024.0 * 1024.0); }
+};
+
+MemoryReport memory_report(const match::RunResult& run,
+                           const EnergyParams& params = {});
+
+}  // namespace mel::perf

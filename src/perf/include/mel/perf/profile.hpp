@@ -1,0 +1,30 @@
+// Dolan-Moré performance profiles (paper Fig 10): for each scheme, the
+// fraction of problem instances it solves within a factor tau of the best
+// scheme on that instance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mel::perf {
+
+struct ProfileCurve {
+  std::string scheme;
+  std::vector<double> taus;       // sample points (>= 1)
+  std::vector<double> fractions;  // fraction of instances within tau of best
+};
+
+/// times[s][i]: time of scheme s on instance i (> 0). All schemes must
+/// cover all instances. `taus` must be sorted ascending, starting >= 1.
+std::vector<ProfileCurve> performance_profile(
+    const std::vector<std::string>& schemes,
+    const std::vector<std::vector<double>>& times,
+    const std::vector<double>& taus);
+
+/// Convenience geometric tau grid: 1, step, step^2, ..., up to max_tau.
+std::vector<double> tau_grid(double max_tau, double step = 1.1);
+
+/// Render profiles as an aligned text table (one row per tau).
+std::string render_profiles(const std::vector<ProfileCurve>& curves);
+
+}  // namespace mel::perf

@@ -1,0 +1,22 @@
+// Reporting helpers shared by the bench binaries: communication-matrix
+// dumps (TAU-style, Figs 2/9/11) and run summaries.
+#pragma once
+
+#include <string>
+
+#include "mel/match/driver.hpp"
+#include "mel/mpi/counters.hpp"
+
+namespace mel::perf {
+
+/// CSV dump of a communication matrix (message counts or bytes).
+std::string matrix_csv(const mpi::CommMatrix& m, bool bytes);
+
+/// ASCII heatmap (log-scaled) of a communication matrix.
+std::string matrix_heatmap(const mpi::CommMatrix& m, bool bytes,
+                           int cells = 32);
+
+/// One-line human summary of a run (model, time, messages, bytes).
+std::string run_summary(const match::RunResult& run);
+
+}  // namespace mel::perf

@@ -1,0 +1,53 @@
+// Chrome-trace ("chrome://tracing" / Perfetto) export of per-rank
+// operation timelines from a simulated run: the stand-in for eyeballing a
+// TAU/CrayPat timeline. Install on the Machine before running:
+//
+//   perf::ChromeTracer tracer;
+//   machine.set_tracer(&tracer);
+//   ... run ...
+//   tracer.write_file("run.trace.json");   // open in ui.perfetto.dev
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mel/mpi/machine.hpp"
+
+namespace mel::perf {
+
+class ChromeTracer final : public mpi::Tracer {
+ public:
+  struct Event {
+    sim::Rank rank;
+    const char* category;
+    sim::Time start;
+    sim::Time end;
+  };
+
+  /// Events shorter than `min_duration_ns` are dropped (keeps traces of
+  /// million-message runs viewable). 0 keeps everything.
+  explicit ChromeTracer(sim::Time min_duration_ns = 0)
+      : min_duration_(min_duration_ns) {}
+
+  void record(sim::Rank rank, const char* category, sim::Time start,
+              sim::Time end) override {
+    if (end - start >= min_duration_ && end > start) {
+      events_.push_back(Event{rank, category, start, end});
+    }
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Chrome trace-event JSON (complete "X" events; ts/dur in microseconds,
+  /// tid = rank).
+  std::string to_json() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  sim::Time min_duration_;
+  std::vector<Event> events_;
+};
+
+}  // namespace mel::perf

@@ -1,0 +1,65 @@
+#include "mel/perf/energy.hpp"
+
+#include <algorithm>
+
+namespace mel::perf {
+
+EnergyReport energy_report(const match::RunResult& run, const net::Params& net,
+                           const EnergyParams& params) {
+  EnergyReport rep;
+  const double job_seconds = std::max(1e-12, run.seconds());
+  const int p = run.nranks;
+  const int nodes = (p + net.ranks_per_node - 1) / net.ranks_per_node;
+
+  // Utilization: explicitly charged compute plus the active part of
+  // communication (software overheads drive the CPU; waiting does not).
+  // We approximate the active share of comm time as the fraction not
+  // spent parked, which the simulator cannot observe directly; use the
+  // conservative proxy of compute / wall per rank, averaged per node.
+  double total_comp = 0.0, total_comm = 0.0;
+  std::vector<double> node_util(static_cast<std::size_t>(nodes), 0.0);
+  for (int r = 0; r < p; ++r) {
+    const auto& c = run.per_rank[r];
+    total_comp += static_cast<double>(c.compute_ns);
+    total_comm += static_cast<double>(c.comm_ns);
+    const double util =
+        std::min(1.0, static_cast<double>(c.compute_ns) / 1e9 / job_seconds);
+    node_util[static_cast<std::size_t>(r / net.ranks_per_node)] +=
+        util / net.ranks_per_node;
+  }
+
+  double total_energy_j = 0.0;
+  for (double u : node_util) {
+    const double watts = params.node_idle_watts + params.node_dynamic_watts * u;
+    total_energy_j += watts * job_seconds;
+  }
+  rep.node_energy_kj = total_energy_j / 1e3;
+  rep.node_power_kw = nodes > 0
+                          ? (total_energy_j / job_seconds) / nodes / 1e3
+                          : 0.0;
+  rep.edp = total_energy_j * job_seconds;
+  const double denom = std::max(1.0, total_comp + total_comm);
+  rep.comp_pct = 100.0 * total_comp / denom;
+  rep.mpi_pct = 100.0 * total_comm / denom;
+  return rep;
+}
+
+MemoryReport memory_report(const match::RunResult& run,
+                           const EnergyParams& params) {
+  MemoryReport rep;
+  double total = 0.0;
+  for (int r = 0; r < run.nranks; ++r) {
+    const double pending =
+        static_cast<double>(run.peak_queued_msgs[r] + run.peak_inflight_msgs[r]);
+    const double bytes = params.base_process_bytes +
+                         static_cast<double>(run.state_bytes[r]) +
+                         static_cast<double>(run.comm_buffer_bytes[r]) +
+                         pending * params.per_pending_message_bytes;
+    total += bytes;
+    rep.max_bytes_per_rank = std::max(rep.max_bytes_per_rank, bytes);
+  }
+  rep.avg_bytes_per_rank = run.nranks > 0 ? total / run.nranks : 0.0;
+  return rep;
+}
+
+}  // namespace mel::perf

@@ -1,0 +1,81 @@
+#include "mel/perf/profile.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "mel/util/table.hpp"
+
+namespace mel::perf {
+
+std::vector<ProfileCurve> performance_profile(
+    const std::vector<std::string>& schemes,
+    const std::vector<std::vector<double>>& times,
+    const std::vector<double>& taus) {
+  if (schemes.size() != times.size()) {
+    throw std::invalid_argument("performance_profile: schemes/times mismatch");
+  }
+  if (times.empty() || times[0].empty()) {
+    throw std::invalid_argument("performance_profile: no data");
+  }
+  const std::size_t instances = times[0].size();
+  for (const auto& row : times) {
+    if (row.size() != instances) {
+      throw std::invalid_argument("performance_profile: ragged times");
+    }
+  }
+
+  // Best time per instance.
+  std::vector<double> best(instances, std::numeric_limits<double>::infinity());
+  for (const auto& row : times) {
+    for (std::size_t i = 0; i < instances; ++i) {
+      best[i] = std::min(best[i], row[i]);
+    }
+  }
+
+  std::vector<ProfileCurve> curves;
+  curves.reserve(schemes.size());
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    ProfileCurve curve;
+    curve.scheme = schemes[s];
+    curve.taus = taus;
+    curve.fractions.reserve(taus.size());
+    for (const double tau : taus) {
+      std::size_t within = 0;
+      for (std::size_t i = 0; i < instances; ++i) {
+        if (times[s][i] <= tau * best[i] + 1e-15) ++within;
+      }
+      curve.fractions.push_back(static_cast<double>(within) /
+                                static_cast<double>(instances));
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+std::vector<double> tau_grid(double max_tau, double step) {
+  if (max_tau < 1.0 || step <= 1.0) {
+    throw std::invalid_argument("tau_grid: need max_tau >= 1 and step > 1");
+  }
+  std::vector<double> taus;
+  for (double t = 1.0; t <= max_tau * (1 + 1e-12); t *= step) taus.push_back(t);
+  return taus;
+}
+
+std::string render_profiles(const std::vector<ProfileCurve>& curves) {
+  if (curves.empty()) return "";
+  std::vector<std::string> header{"tau"};
+  for (const auto& c : curves) header.push_back(c.scheme);
+  util::Table table(std::move(header));
+  for (std::size_t t = 0; t < curves[0].taus.size(); ++t) {
+    std::vector<std::string> row{util::fmt_double(curves[0].taus[t], 2)};
+    for (const auto& c : curves) {
+      row.push_back(util::fmt_double(c.fractions[t], 3));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+}  // namespace mel::perf

@@ -1,0 +1,50 @@
+#include "mel/perf/report.hpp"
+
+#include <sstream>
+
+#include "mel/graph/stats.hpp"
+#include "mel/util/table.hpp"
+
+namespace mel::perf {
+
+std::string matrix_csv(const mpi::CommMatrix& m, bool bytes) {
+  std::ostringstream os;
+  const int n = m.nranks();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (j) os << ',';
+      os << (bytes ? m.bytes(i, j) : m.msgs(i, j));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string matrix_heatmap(const mpi::CommMatrix& m, bool bytes, int cells) {
+  const int n = m.nranks();
+  std::vector<std::uint64_t> flat(static_cast<std::size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      flat[static_cast<std::size_t>(i) * n + j] =
+          bytes ? m.bytes(i, j) : m.msgs(i, j);
+    }
+  }
+  return graph::render_heatmap(flat, n, cells);
+}
+
+std::string run_summary(const match::RunResult& run) {
+  std::ostringstream os;
+  os << match::model_name(run.model) << " p=" << run.nranks
+     << " time=" << util::fmt_double(run.seconds(), 4) << "s"
+     << " weight=" << util::fmt_double(run.matching.weight, 3)
+     << " |M|=" << run.matching.cardinality << " msgs="
+     << util::fmt_si(static_cast<double>(run.totals.isends + run.totals.puts),
+                     1)
+     << " collectives="
+     << util::fmt_si(static_cast<double>(run.totals.neighbor_colls +
+                                         run.totals.allreduces),
+                     1);
+  return os.str();
+}
+
+}  // namespace mel::perf

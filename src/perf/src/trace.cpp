@@ -1,0 +1,37 @@
+#include "mel/perf/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mel::perf {
+
+std::string ChromeTracer::to_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
+                  e.category, e.category,
+                  static_cast<double>(e.start) / 1e3,
+                  static_cast<double>(e.end - e.start) / 1e3,
+                  static_cast<int>(e.rank));
+    os << buf;
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+  return os.str();
+}
+
+void ChromeTracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << to_json();
+}
+
+}  // namespace mel::perf

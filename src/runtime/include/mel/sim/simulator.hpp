@@ -1,0 +1,123 @@
+// The discrete-event simulator driving all simulated ranks.
+//
+// Model: each rank is a coroutine with a private local clock. A rank runs
+// (in host time) from one co_await to the next; everything it does in
+// between happens at its current local clock, which subsystems advance by
+// calling charge(). Blocking operations suspend the coroutine and register
+// a wake-up; the simulator's global event queue interleaves ranks in
+// deterministic (time, sequence) order. When the event queue drains while
+// ranks are still suspended, the run has deadlocked and run() throws with
+// a diagnostic listing the stuck ranks.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mel/sim/task.hpp"
+#include "mel/sim/time.hpp"
+
+namespace mel::sim {
+
+/// Thrown by Simulator::run() when no event can make progress but at least
+/// one rank has not finished.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+class Simulator {
+ public:
+  explicit Simulator(int nranks);
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+
+  /// Install the main coroutine for a rank. Must be called once per rank
+  /// before run(). The factory is invoked immediately; the coroutine body
+  /// does not start until run().
+  void spawn(Rank rank, RankTask task);
+
+  /// Run the simulation to completion (all ranks returned). Throws
+  /// DeadlockError if progress stalls and rethrows the first rank exception.
+  void run();
+
+  /// Global event-queue time (time of the most recent event).
+  Time now() const { return now_; }
+
+  /// A rank's local virtual clock.
+  Time rank_now(Rank rank) const { return ranks_[rank].clock; }
+
+  /// Advance a rank's local clock by dt (models local computation or
+  /// per-call software overhead). Must only be called while that rank's
+  /// coroutine is the one logically executing.
+  void charge(Rank rank, Time dt) { ranks_[rank].clock += dt; }
+
+  /// Schedule a raw event at absolute virtual time t. Events at equal time
+  /// run in scheduling order.
+  void schedule(Time t, std::function<void()> fn);
+
+  /// Park the currently running rank coroutine; some subsystem holding the
+  /// returned token will later call wake(). Called from awaiter
+  /// await_suspend paths.
+  struct Parked {
+    Rank rank = -1;
+    std::coroutine_handle<> handle;
+  };
+
+  /// Resume a parked rank at absolute time t (>= the rank's clock at the
+  /// time of parking; clamped up if in the past).
+  void wake(const Parked& parked, Time t);
+
+  /// Number of events executed so far (diagnostic / test hook).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// True once the rank's main coroutine has returned.
+  bool rank_done(Rank rank) const { return ranks_[rank].done; }
+
+  /// Internal: called by RankTask final awaiter.
+  void mark_done(Rank rank) { ranks_[rank].done = true; }
+
+  /// Sum of final local clocks; the simulated "job time" is the max.
+  Time max_rank_time() const;
+
+ private:
+  /// Record a pending exception thrown by a rank coroutine, if any.
+  void note_rank_error(Rank rank);
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return t != other.t ? t > other.t : seq > other.seq;
+    }
+  };
+
+  struct RankState {
+    RankTask task;
+    Time clock = 0;
+    bool done = false;
+    bool started = false;
+  };
+
+  std::vector<RankState> ranks_;
+  std::exception_ptr error_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+};
+
+inline void RankTask::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  auto& p = h.promise();
+  if (p.sim != nullptr && p.rank >= 0) p.sim->mark_done(p.rank);
+}
+
+}  // namespace mel::sim

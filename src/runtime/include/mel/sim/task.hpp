@@ -1,0 +1,74 @@
+// Coroutine task type for simulated rank main procedures.
+//
+// A RankTask is the top-level coroutine of one simulated MPI rank. It is
+// eagerly created but lazily started (initial_suspend = suspend_always); the
+// Simulator resumes it at virtual time 0 and thereafter whenever an awaited
+// communication operation completes. The Simulator owns the coroutine frame
+// for the whole run (final_suspend = suspend_always), so rank-local state
+// held in the frame stays alive until Simulator destruction.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "mel/sim/time.hpp"
+
+namespace mel::sim {
+
+class Simulator;
+
+class RankTask {
+ public:
+  struct promise_type {
+    RankTask get_return_object() {
+      return RankTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    // On completion, tell the simulator this rank is done, then stay
+    // suspended so the simulator controls frame destruction.
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+
+    Simulator* sim = nullptr;
+    Rank rank = -1;
+    std::exception_ptr error;
+  };
+
+  RankTask() = default;
+  explicit RankTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  RankTask(RankTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  RankTask& operator=(RankTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  RankTask(const RankTask&) = delete;
+  RankTask& operator=(const RankTask&) = delete;
+  ~RankTask() { destroy(); }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+  bool valid() const { return handle_ != nullptr; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace mel::sim

@@ -1,0 +1,98 @@
+#include "mel/sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "mel/util/log.hpp"
+
+namespace mel::sim {
+
+namespace {
+std::size_t checked_nranks(int nranks) {
+  if (nranks <= 0) throw std::invalid_argument("Simulator: nranks must be > 0");
+  return static_cast<std::size_t>(nranks);
+}
+}  // namespace
+
+Simulator::Simulator(int nranks) : ranks_(checked_nranks(nranks)) {}
+
+void Simulator::spawn(Rank rank, RankTask task) {
+  if (rank < 0 || rank >= nranks()) {
+    throw std::out_of_range("Simulator::spawn: bad rank");
+  }
+  auto& state = ranks_[rank];
+  if (state.task.valid()) {
+    throw std::logic_error("Simulator::spawn: rank already spawned");
+  }
+  auto& promise = task.handle().promise();
+  promise.sim = this;
+  promise.rank = rank;
+  state.task = std::move(task);
+  // Kick the coroutine off at virtual time 0.
+  schedule(0, [this, rank] {
+    auto& st = ranks_[rank];
+    st.started = true;
+    st.clock = std::max<Time>(st.clock, 0);
+    st.task.handle().resume();
+    note_rank_error(rank);
+  });
+}
+
+void Simulator::schedule(Time t, std::function<void()> fn) {
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::wake(const Parked& parked, Time t) {
+  schedule(t, [this, parked, t] {
+    auto& st = ranks_[parked.rank];
+    st.clock = std::max(st.clock, t);
+    parked.handle.resume();
+    note_rank_error(parked.rank);
+  });
+}
+
+void Simulator::note_rank_error(Rank rank) {
+  if (error_) return;
+  const auto& task = ranks_[rank].task;
+  if (task.valid() && task.handle().promise().error) {
+    error_ = task.handle().promise().error;
+  }
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the event is move-only in spirit,
+    // so copy out the pieces before popping.
+    const Event& top = queue_.top();
+    now_ = std::max(now_, top.t);
+    auto fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    ++events_executed_;
+    fn();
+    // Propagate rank exceptions eagerly so a failing assertion inside a
+    // rank coroutine surfaces at the right virtual time.
+    if (error_) std::rethrow_exception(error_);
+  }
+  std::vector<Rank> stuck;
+  for (Rank r = 0; r < nranks(); ++r) {
+    if (ranks_[r].task.valid() && !ranks_[r].done) stuck.push_back(r);
+  }
+  if (!stuck.empty()) {
+    std::ostringstream os;
+    os << "simulation deadlock at t=" << now_ << "ns; " << stuck.size()
+       << " rank(s) stuck:";
+    for (std::size_t i = 0; i < stuck.size() && i < 16; ++i) {
+      os << ' ' << stuck[i] << "(clock=" << ranks_[stuck[i]].clock << ")";
+    }
+    if (stuck.size() > 16) os << " ...";
+    throw DeadlockError(os.str());
+  }
+}
+
+Time Simulator::max_rank_time() const {
+  Time t = 0;
+  for (const auto& st : ranks_) t = std::max(t, st.clock);
+  return t;
+}
+
+}  // namespace mel::sim

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation for simulation and
+// synthetic-graph generation. Everything in mel is seeded explicitly so a
+// run is reproducible bit-for-bit; never use std::random_device here.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mel::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a stream of
+/// well-mixed words (e.g. to seed Xoshiro256** or to hash vertex ids for
+/// tie-breaking in the matching algorithm).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mixing hash of a 64-bit value (SplitMix64 finalizer). Used to
+/// break ties between equal edge weights by hashed vertex id, as suggested
+/// by Manne & Bisseling for pathological inputs (paths/grids with ordered
+/// vertex numbering).
+constexpr std::uint64_t hash64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two ids into one hash (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return hash64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+/// Xoshiro256**: the workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it composes with <random>
+/// distributions, but we provide the few distributions we need directly to
+/// keep results identical across standard-library implementations.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). 53 bits of randomness.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Lemire-style rejection-free-ish bounded
+  /// draw; bias is < 2^-64 per draw which is irrelevant for our purposes,
+  /// but we still reject to keep the distribution exact.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = operator()();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// True with probability p.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Fork a statistically independent generator (e.g. one per simulated
+  /// rank) from this one's stream.
+  constexpr Xoshiro256 fork() noexcept {
+    return Xoshiro256{operator()() ^ 0xd2b74407b1ce6e93ULL};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace mel::util

@@ -1,0 +1,35 @@
+// Plain-text table rendering for bench output: the benches print the same
+// rows the paper's tables/figures report, and this keeps them readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mel::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+
+  /// Render as CSV (no alignment, comma-separated, header first).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used throughout bench output.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_si(double v, int precision = 2);    // 1.23M, 4.56K, ...
+std::string fmt_bytes(double bytes, int precision = 1);  // KiB/MiB/GiB
+
+}  // namespace mel::util

@@ -1,0 +1,70 @@
+#include "mel/util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mel::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) != 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes" || it->second == "on") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string piece = text.substr(pos, comma - pos);
+    if (!piece.empty()) out.push_back(std::strtoll(piece.c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace mel::util

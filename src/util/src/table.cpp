@@ -1,0 +1,97 @@
+#include "mel/util/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace mel::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = header_.size() ? (header_.size() - 1) * 2 : 0;
+  for (auto w : width) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  if (v >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "B";
+  } else if (v >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%s", precision, scaled, suffix);
+  return buf;
+}
+
+std::string fmt_bytes(double bytes, int precision) {
+  const char* suffix = "B";
+  double scaled = bytes;
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    scaled = bytes / (1024.0 * 1024.0 * 1024.0);
+    suffix = "GiB";
+  } else if (bytes >= 1024.0 * 1024.0) {
+    scaled = bytes / (1024.0 * 1024.0);
+    suffix = "MiB";
+  } else if (bytes >= 1024.0) {
+    scaled = bytes / 1024.0;
+    suffix = "KiB";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %s", precision, scaled, suffix);
+  return buf;
+}
+
+}  // namespace mel::util

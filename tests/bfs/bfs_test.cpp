@@ -1,0 +1,91 @@
+#include "mel/bfs/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mel/gen/generators.hpp"
+
+namespace mel::bfs {
+namespace {
+
+using match::Model;
+
+TEST(SerialBfs, PathDistances) {
+  const auto g = gen::path(6);
+  const auto d = serial_bfs(g, 0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(SerialBfs, UnreachableIsMinusOne) {
+  const auto g = gen::grid_of_grids(200, 4, 8, 3);
+  const auto d = serial_bfs(g, 0);
+  bool any_unreachable = false;
+  for (auto x : d) any_unreachable |= (x < 0);
+  EXPECT_TRUE(any_unreachable);  // multiple components
+}
+
+TEST(SerialBfs, BadRootGivesAllUnreachable) {
+  const auto g = gen::path(4);
+  const auto d = serial_bfs(g, 99);
+  for (auto x : d) EXPECT_EQ(x, -1);
+}
+
+class BfsSweep : public ::testing::TestWithParam<std::tuple<Model, int>> {};
+
+TEST_P(BfsSweep, MatchesSerialOnRmat) {
+  const auto [model, p] = GetParam();
+  const auto g = gen::rmat(9, 8, 5);
+  const auto serial = serial_bfs(g, 0);
+  const auto run = run_bfs(g, p, 0, model);
+  EXPECT_EQ(run.dist, serial);
+  EXPECT_GT(run.levels, 0);
+}
+
+TEST_P(BfsSweep, MatchesSerialOnGrid) {
+  const auto [model, p] = GetParam();
+  const auto g = gen::grid2d(17, 19);
+  const auto serial = serial_bfs(g, 5);
+  const auto run = run_bfs(g, p, 5, model);
+  EXPECT_EQ(run.dist, serial);
+}
+
+TEST_P(BfsSweep, MatchesSerialOnDisconnected) {
+  const auto [model, p] = GetParam();
+  const auto g = gen::grid_of_grids(300, 3, 9, 7);
+  const auto serial = serial_bfs(g, 1);
+  const auto run = run_bfs(g, p, 1, model);
+  EXPECT_EQ(run.dist, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByRanks, BfsSweep,
+    ::testing::Combine(::testing::Values(Model::kNsr, Model::kNcl),
+                       ::testing::Values(1, 2, 5, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<Model, int>>& info) {
+      return std::string(match::model_name(std::get<0>(info.param))) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Bfs, RejectsUnsupportedModel) {
+  const auto g = gen::path(10);
+  EXPECT_THROW(run_bfs(g, 2, 0, Model::kRma), std::invalid_argument);
+}
+
+TEST(Bfs, CommPatternDiffersFromMatching) {
+  // Fig 2/11 rationale: BFS communicates in level-synchronized bursts; its
+  // message count is far below matching's on the same graph (matching
+  // negotiates per edge).
+  const auto g = gen::rmat(10, 8, 7);
+  match::RunConfig cfg;
+  cfg.collect_matrix = true;
+  const auto bfs_run = run_bfs(g, 8, 0, Model::kNsr, cfg);
+  const auto match_run = match::run_match(g, 8, Model::kNsr, cfg);
+  ASSERT_NE(bfs_run.matrix, nullptr);
+  ASSERT_NE(match_run.matrix, nullptr);
+  EXPECT_GT(bfs_run.matrix->total_msgs(), 0u);
+  EXPECT_GT(match_run.matrix->total_msgs(), 0u);
+}
+
+}  // namespace
+}  // namespace mel::bfs

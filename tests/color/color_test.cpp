@@ -1,0 +1,100 @@
+#include "mel/color/color.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mel/gen/generators.hpp"
+
+namespace mel::color {
+namespace {
+
+using match::Model;
+
+TEST(SerialColoring, ProperOnFamilies) {
+  const Csr graphs[] = {
+      gen::erdos_renyi(300, 1800, 2), gen::rmat(9, 8, 3),
+      gen::path(100),                 gen::grid2d(10, 10),
+      gen::chung_lu(300, 2000, 2.3, 4),
+  };
+  for (const auto& g : graphs) {
+    const auto colors = serial_jp_coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, colors));
+    // Greedy bound: colors <= max degree + 1.
+    EXPECT_LE(color_count(colors), g.max_degree() + 1);
+  }
+}
+
+TEST(SerialColoring, PathIsNearlyTwoColorable) {
+  const auto colors = serial_jp_coloring(gen::path(500));
+  EXPECT_TRUE(is_proper_coloring(gen::path(500), colors));
+  EXPECT_LE(color_count(colors), 3);  // random order can need 3 on a path
+}
+
+TEST(SerialColoring, CompleteGraphNeedsNColors) {
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId u = 0; u < 8; ++u) {
+    for (graph::VertexId v = u + 1; v < 8; ++v) edges.push_back({u, v, 1.0});
+  }
+  const auto g = graph::Csr::from_edges(8, edges);
+  const auto colors = serial_jp_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, colors));
+  EXPECT_EQ(color_count(colors), 8);
+}
+
+TEST(SerialColoring, EmptyGraphOneColor) {
+  const auto g = graph::Csr::from_edges(5, {});
+  const auto colors = serial_jp_coloring(g);
+  EXPECT_TRUE(is_proper_coloring(g, colors));
+  EXPECT_EQ(color_count(colors), 1);
+}
+
+TEST(Verify, DetectsImproperColoring) {
+  const graph::Edge edges[] = {{0, 1, 1.0}};
+  const auto g = graph::Csr::from_edges(2, edges);
+  EXPECT_FALSE(is_proper_coloring(g, {0, 0}));
+  EXPECT_FALSE(is_proper_coloring(g, {0, -1}));
+  EXPECT_TRUE(is_proper_coloring(g, {0, 1}));
+}
+
+class ColorSweep : public ::testing::TestWithParam<std::tuple<Model, int>> {};
+
+TEST_P(ColorSweep, MatchesSerialExactly) {
+  const auto [model, p] = GetParam();
+  for (const auto& g : {gen::erdos_renyi(240, 1400, 5), gen::rmat(8, 8, 11),
+                        gen::grid2d(15, 16)}) {
+    const auto serial = serial_jp_coloring(g);
+    const auto run = run_coloring(g, p, model);
+    EXPECT_EQ(run.colors, serial);
+    EXPECT_TRUE(is_proper_coloring(g, run.colors));
+    EXPECT_GT(run.rounds, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByRanks, ColorSweep,
+    ::testing::Combine(::testing::Values(Model::kNsr, Model::kNcl),
+                       ::testing::Values(1, 3, 8, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<Model, int>>& info) {
+      return std::string(match::model_name(std::get<0>(info.param))) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DistColoring, RejectsUnsupportedModel) {
+  EXPECT_THROW(run_coloring(gen::path(10), 2, Model::kRma),
+               std::invalid_argument);
+}
+
+TEST(DistColoring, RoundsGrowWithConflictChains) {
+  // More ranks cut more cross edges, requiring more ghost-update rounds
+  // than the single-rank case (which colors everything in one sweep).
+  const auto g = gen::erdos_renyi(500, 4000, 9);
+  const auto one = run_coloring(g, 1, Model::kNcl);
+  const auto many = run_coloring(g, 16, Model::kNcl);
+  EXPECT_EQ(one.colors, many.colors);
+  EXPECT_LE(one.rounds, 2);
+  EXPECT_GT(many.rounds, one.rounds);
+}
+
+}  // namespace
+}  // namespace mel::color

@@ -1,0 +1,104 @@
+#include "mel/graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mel::graph {
+namespace {
+
+Csr triangle() {
+  const Edge edges[] = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}};
+  return Csr::from_edges(3, edges);
+}
+
+TEST(Csr, BasicCounts) {
+  const Csr g = triangle();
+  EXPECT_EQ(g.nverts(), 3);
+  EXPECT_EQ(g.nedges(), 3);
+  EXPECT_EQ(g.nentries(), 6);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(Csr, AdjacencySortedAndSymmetric) {
+  const Csr g = triangle();
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0].to, 1);
+  EXPECT_EQ(n0[1].to, 2);
+  // Symmetric entry with same weight.
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0].to, 0);
+  EXPECT_DOUBLE_EQ(n2[0].w, 3.0);
+}
+
+TEST(Csr, SelfLoopsDropped) {
+  const Edge edges[] = {{0, 0, 5.0}, {0, 1, 1.0}};
+  const Csr g = Csr::from_edges(2, edges);
+  EXPECT_EQ(g.nedges(), 1);
+}
+
+TEST(Csr, ParallelEdgesDedupedKeepingMaxWeight) {
+  const Edge edges[] = {{0, 1, 1.0}, {1, 0, 9.0}, {0, 1, 4.0}};
+  const Csr g = Csr::from_edges(2, edges);
+  EXPECT_EQ(g.nedges(), 1);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].w, 9.0);
+}
+
+TEST(Csr, OutOfRangeEndpointThrows) {
+  const Edge edges[] = {{0, 7, 1.0}};
+  EXPECT_THROW(Csr::from_edges(3, edges), std::out_of_range);
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::from_edges(5, {});
+  EXPECT_EQ(g.nverts(), 5);
+  EXPECT_EQ(g.nedges(), 0);
+  EXPECT_EQ(g.degree(4), 0);
+  EXPECT_EQ(g.bandwidth(), 0);
+}
+
+TEST(Csr, Bandwidth) {
+  const Edge edges[] = {{0, 9, 1.0}, {3, 4, 1.0}};
+  const Csr g = Csr::from_edges(10, edges);
+  EXPECT_EQ(g.bandwidth(), 9);
+}
+
+TEST(Csr, TotalWeight) {
+  EXPECT_DOUBLE_EQ(triangle().total_weight(), 6.0);
+}
+
+TEST(Csr, ToEdgesRoundTrip) {
+  const Csr g = triangle();
+  const auto edges = g.to_edges();
+  const Csr g2 = Csr::from_edges(3, edges);
+  EXPECT_EQ(g2.nedges(), g.nedges());
+  EXPECT_DOUBLE_EQ(g2.total_weight(), g.total_weight());
+}
+
+TEST(Csr, PermutedPreservesStructure) {
+  const Csr g = triangle();
+  const VertexId perm[] = {2, 0, 1};
+  const Csr p = g.permuted(perm);
+  EXPECT_EQ(p.nedges(), 3);
+  EXPECT_DOUBLE_EQ(p.total_weight(), 6.0);
+  // Edge {0,1,w=1} becomes {2,0}: check weight preserved.
+  bool found = false;
+  for (const Adj& a : p.neighbors(2)) {
+    if (a.to == 0) {
+      EXPECT_DOUBLE_EQ(a.w, 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Csr, PermutedSizeMismatchThrows) {
+  const VertexId perm[] = {0, 1};
+  EXPECT_THROW(triangle().permuted(perm), std::invalid_argument);
+}
+
+TEST(Csr, ByteSizeNonzero) { EXPECT_GT(triangle().byte_size(), 0u); }
+
+}  // namespace
+}  // namespace mel::graph

@@ -1,0 +1,247 @@
+#include "mel/graph/dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mel/gen/generators.hpp"
+#include "mel/graph/stats.hpp"
+
+namespace mel::graph {
+namespace {
+
+TEST(Distribution, EvenSplit) {
+  Distribution d(12, 4);
+  for (Rank r = 0; r < 4; ++r) EXPECT_EQ(d.count(r), 3);
+  EXPECT_EQ(d.begin(0), 0);
+  EXPECT_EQ(d.end(3), 12);
+}
+
+TEST(Distribution, UnevenSplitFrontLoaded) {
+  Distribution d(10, 4);  // 3,3,2,2
+  EXPECT_EQ(d.count(0), 3);
+  EXPECT_EQ(d.count(1), 3);
+  EXPECT_EQ(d.count(2), 2);
+  EXPECT_EQ(d.count(3), 2);
+  EXPECT_EQ(d.end(3), 10);
+}
+
+TEST(Distribution, OwnerConsistentWithRanges) {
+  Distribution d(1037, 7);
+  for (VertexId v = 0; v < 1037; ++v) {
+    const Rank r = d.owner(v);
+    EXPECT_GE(v, d.begin(r));
+    EXPECT_LT(v, d.end(r));
+  }
+}
+
+TEST(Distribution, MoreRanksThanVertices) {
+  Distribution d(3, 8);
+  for (VertexId v = 0; v < 3; ++v) {
+    const Rank r = d.owner(v);
+    EXPECT_GE(v, d.begin(r));
+    EXPECT_LT(v, d.end(r));
+  }
+  int total = 0;
+  for (Rank r = 0; r < 8; ++r) total += static_cast<int>(d.count(r));
+  EXPECT_EQ(total, 3);
+}
+
+Csr two_rank_graph() {
+  // 6 vertices, ranks of 3 (p=2): cross edges {2,3}, {0,5}.
+  const Edge edges[] = {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0},
+                        {3, 4, 4.0}, {4, 5, 5.0}, {0, 5, 6.0}};
+  return Csr::from_edges(6, edges);
+}
+
+TEST(DistGraph, LocalAdjacencyMatchesGlobal) {
+  const Csr g = two_rank_graph();
+  const DistGraph dg(g, 2);
+  const LocalGraph& l0 = dg.local(0);
+  EXPECT_EQ(l0.vbegin, 0);
+  EXPECT_EQ(l0.vend, 3);
+  EXPECT_EQ(l0.nlocal(), 3);
+  // Vertex 2's neighbors: 1 (local) and 3 (ghost).
+  const auto n2 = l0.neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0].to, 1);
+  EXPECT_EQ(n2[1].to, 3);
+}
+
+TEST(DistGraph, GhostCounts) {
+  const DistGraph dg(two_rank_graph(), 2);
+  const LocalGraph& l0 = dg.local(0);
+  ASSERT_EQ(l0.neighbor_ranks.size(), 1u);
+  EXPECT_EQ(l0.neighbor_ranks[0], 1);
+  EXPECT_EQ(l0.ghost_counts[0], 2);  // edges {2,3} and {0,5}
+  EXPECT_EQ(l0.total_ghost_edges, 2);
+  const LocalGraph& l1 = dg.local(1);
+  EXPECT_EQ(l1.total_ghost_edges, 2);
+  EXPECT_EQ(l0.neighbor_index(1), 0);
+  EXPECT_EQ(l0.neighbor_index(0), -1);
+}
+
+TEST(DistGraph, TopologySymmetric) {
+  const auto g = gen::rmat(10, 8, 3);
+  const DistGraph dg(g, 8);
+  const auto topo = dg.process_topology();
+  for (Rank r = 0; r < 8; ++r) {
+    for (Rank n : topo[r]) {
+      const auto& back = topo[n];
+      EXPECT_NE(std::find(back.begin(), back.end(), r), back.end());
+    }
+  }
+}
+
+TEST(DistGraph, GhostCountsMatchPairwise) {
+  const auto g = gen::erdos_renyi(500, 3000, 7);
+  const DistGraph dg(g, 8);
+  for (Rank r = 0; r < 8; ++r) {
+    const auto& lr = dg.local(r);
+    for (std::size_t i = 0; i < lr.neighbor_ranks.size(); ++i) {
+      const Rank s = lr.neighbor_ranks[i];
+      const auto& ls = dg.local(s);
+      const int back = ls.neighbor_index(r);
+      ASSERT_GE(back, 0);
+      EXPECT_EQ(lr.ghost_counts[i], ls.ghost_counts[back])
+          << "asymmetric ghost count between " << r << " and " << s;
+    }
+  }
+}
+
+TEST(DistGraph, AllEdgesCoveredOnce) {
+  const auto g = gen::erdos_renyi(300, 2000, 11);
+  const DistGraph dg(g, 5);
+  EdgeId entries = 0;
+  for (Rank r = 0; r < 5; ++r) {
+    entries += static_cast<EdgeId>(dg.local(r).adj.size());
+  }
+  EXPECT_EQ(entries, g.nentries());
+}
+
+TEST(Distribution, FromOffsets) {
+  auto d = Distribution::from_offsets({0, 3, 3, 10});
+  EXPECT_EQ(d.nranks(), 3);
+  EXPECT_EQ(d.nverts(), 10);
+  EXPECT_EQ(d.count(0), 3);
+  EXPECT_EQ(d.count(1), 0);  // empty block allowed
+  EXPECT_EQ(d.count(2), 7);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(2), 0);
+  EXPECT_EQ(d.owner(3), 2);
+  EXPECT_EQ(d.owner(9), 2);
+}
+
+TEST(Distribution, FromOffsetsRejectsBadInput) {
+  EXPECT_THROW(Distribution::from_offsets({1, 5}), std::invalid_argument);
+  EXPECT_THROW(Distribution::from_offsets({0, 5, 3}), std::invalid_argument);
+  EXPECT_THROW(Distribution::from_offsets({0}), std::invalid_argument);
+}
+
+TEST(Distribution, EdgeBalancedEvensOutEntries) {
+  // A power-law graph is badly imbalanced under vertex blocks when hubs
+  // cluster; after degree-descending relabeling the contrast is extreme.
+  auto g = gen::chung_lu(4000, 40000, 2.2, 7);
+  const int p = 8;
+  auto entries_imbalance = [&](const Distribution& d) {
+    EdgeId max_e = 0;
+    EdgeId total = 0;
+    for (Rank r = 0; r < p; ++r) {
+      EdgeId e = 0;
+      for (VertexId v = d.begin(r); v < d.end(r); ++v) e += g.degree(v);
+      max_e = std::max(max_e, e);
+      total += e;
+    }
+    return static_cast<double>(max_e) * p / static_cast<double>(total);
+  };
+  const Distribution naive(g.nverts(), p);
+  const Distribution balanced = edge_balanced_partition(g, p);
+  EXPECT_LE(entries_imbalance(balanced), entries_imbalance(naive) + 1e-9);
+  EXPECT_LT(entries_imbalance(balanced), 1.6);
+}
+
+TEST(Distribution, EdgeBalancedCoversAllVertices) {
+  const auto g = gen::rmat(10, 8, 5);
+  const auto d = edge_balanced_partition(g, 7);
+  EXPECT_EQ(d.nverts(), g.nverts());
+  VertexId total = 0;
+  for (Rank r = 0; r < 7; ++r) total += d.count(r);
+  EXPECT_EQ(total, g.nverts());
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    const Rank r = d.owner(v);
+    EXPECT_GE(v, d.begin(r));
+    EXPECT_LT(v, d.end(r));
+  }
+}
+
+TEST(DistGraph, CustomDistributionRoundTrips) {
+  const auto g = gen::erdos_renyi(300, 2000, 11);
+  const DistGraph dg(g, edge_balanced_partition(g, 6));
+  EdgeId entries = 0;
+  for (Rank r = 0; r < 6; ++r) {
+    entries += static_cast<EdgeId>(dg.local(r).adj.size());
+  }
+  EXPECT_EQ(entries, g.nentries());
+}
+
+TEST(Stats, RggProcessGraphDegreeAtMostTwo) {
+  // The paper's key RGG property: with x-sorted ids and 1D blocks, each
+  // rank talks to at most its two strip neighbors.
+  const auto g = gen::random_geometric(4000, gen::rgg_radius_for_degree(4000, 16.0), 5);
+  const DistGraph dg(g, 16);
+  const auto s = process_graph_stats(dg);
+  EXPECT_LE(s.dmax, 2);
+  EXPECT_GT(s.ep_edges, 0);
+}
+
+TEST(Stats, DenseGraphProcessDegreeIsPMinus1) {
+  // Table III: stochastic block partition gives a complete process graph.
+  const auto g = gen::stochastic_block(2048, 2048 * 24, 16, 0.6, 3);
+  const DistGraph dg(g, 8);
+  const auto s = process_graph_stats(dg);
+  EXPECT_EQ(s.dmax, 7);
+  EXPECT_DOUBLE_EQ(s.davg, 7.0);
+  EXPECT_EQ(s.ep_edges, 8 * 7 / 2);
+}
+
+TEST(Stats, EdgePrimeTotalsExceedEdges) {
+  const auto g = gen::erdos_renyi(400, 3000, 13);
+  const DistGraph dg(g, 8);
+  const auto ep = edge_prime_stats(dg);
+  EXPECT_GT(ep.total, g.nedges());  // cross edges counted on both sides
+  EXPECT_LE(ep.total, 2 * g.nedges());
+  EXPECT_GE(ep.max, static_cast<std::int64_t>(ep.avg));
+}
+
+TEST(Stats, SingleRankEdgePrimeEqualsEdges) {
+  const auto g = gen::erdos_renyi(200, 1000, 17);
+  const DistGraph dg(g, 1);
+  const auto ep = edge_prime_stats(dg);
+  EXPECT_EQ(ep.total, g.nedges());
+  EXPECT_DOUBLE_EQ(ep.sigma, 0.0);
+}
+
+TEST(Stats, DegreeStats) {
+  const Edge edges[] = {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}};
+  const Csr star = Csr::from_edges(4, edges);
+  const auto s = degree_stats(star);
+  EXPECT_EQ(s.dmax, 3);
+  EXPECT_DOUBLE_EQ(s.davg, 1.5);
+}
+
+TEST(Stats, SpyRenderNonEmpty) {
+  const auto g = gen::banded(256, 8, 16, 3);
+  const auto spy = render_spy(g, 16);
+  EXPECT_FALSE(spy.empty());
+  // Banded matrix: corners far from the diagonal are empty.
+  EXPECT_EQ(spy[15], ' ');  // top-right cell of first row
+}
+
+TEST(Stats, HeatmapRender) {
+  std::vector<std::uint64_t> m(16, 0);
+  m[1] = 100;  // (0,1)
+  const auto hm = render_heatmap(m, 4, 4);
+  EXPECT_FALSE(hm.empty());
+  EXPECT_NE(hm.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mel::graph

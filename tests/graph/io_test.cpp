@@ -1,0 +1,94 @@
+#include "mel/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mel/gen/generators.hpp"
+
+namespace mel::graph {
+namespace {
+
+TEST(MatrixMarket, ParsesSymmetricReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% a comment\n"
+      "4 4 3\n"
+      "2 1 1.5\n"
+      "3 2 2.5\n"
+      "4 4 9.0\n");  // diagonal: dropped
+  const Csr g = read_matrix_market(in);
+  EXPECT_EQ(g.nverts(), 4);
+  EXPECT_EQ(g.nedges(), 2);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].w, 1.5);
+}
+
+TEST(MatrixMarket, ParsesPatternGeneral) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n"
+      "2 3\n");
+  const Csr g = read_matrix_market(in);
+  EXPECT_EQ(g.nedges(), 2);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].w, 1.0);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::istringstream bad_banner("hello\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(bad_banner), std::runtime_error);
+  std::istringstream rect(
+      "%%MatrixMarket matrix coordinate real general\n2 3 0\n");
+  EXPECT_THROW(read_matrix_market(rect), std::runtime_error);
+  std::istringstream oob(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(oob), std::runtime_error);
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1.0\n");
+  EXPECT_THROW(read_matrix_market(truncated), std::runtime_error);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const Csr g = gen::erdos_renyi(100, 500, 7);
+  std::stringstream buf;
+  write_matrix_market(g, buf);
+  const Csr back = read_matrix_market(buf);
+  EXPECT_EQ(back.nverts(), g.nverts());
+  EXPECT_EQ(back.nedges(), g.nedges());
+  EXPECT_NEAR(back.total_weight(), g.total_weight(), 1e-6);
+}
+
+TEST(Binary, RoundTripExact) {
+  const Csr g = gen::rmat(9, 8, 3);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, buf);
+  const Csr back = read_binary(buf);
+  EXPECT_EQ(back.nverts(), g.nverts());
+  EXPECT_EQ(back.nedges(), g.nedges());
+  EXPECT_DOUBLE_EQ(back.total_weight(), g.total_weight());
+}
+
+TEST(Binary, RejectsBadMagic) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "NOPE and more";
+  EXPECT_THROW(read_binary(buf), std::runtime_error);
+}
+
+TEST(Binary, RejectsTruncation) {
+  const Csr g = gen::erdos_renyi(50, 200, 1);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut << full.substr(0, full.size() / 2);
+  EXPECT_THROW(read_binary(cut), std::runtime_error);
+}
+
+TEST(Files, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/x.mtx"),
+               std::runtime_error);
+  EXPECT_THROW(read_binary_file("/nonexistent/x.melg"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mel::graph

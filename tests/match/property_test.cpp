@@ -1,0 +1,158 @@
+// Cross-cutting property tests for the matching stack: invariances the
+// algorithms must satisfy regardless of communication model or cost
+// parameters.
+#include <gtest/gtest.h>
+
+#include "mel/gen/generators.hpp"
+#include "mel/match/driver.hpp"
+#include "mel/match/verify.hpp"
+#include "mel/order/rcm.hpp"
+
+namespace mel::match {
+namespace {
+
+TEST(Property, ResultInvariantUnderCostModel) {
+  // The network cost model changes *when* things happen, never *what* the
+  // algorithm computes.
+  const auto g = gen::chung_lu(400, 2400, 2.3, 9);
+  const auto baseline = run_match(g, 8, Model::kNcl);
+  for (const auto mutate : {0, 1, 2, 3}) {
+    RunConfig cfg;
+    switch (mutate) {
+      case 0: cfg.net.o_send = 5; break;
+      case 1: cfg.net.alpha_inter = 50000; break;
+      case 2: cfg.net.o_coll_per_neighbor = 9000; break;
+      case 3: cfg.net.ranks_per_node = 1; break;
+    }
+    for (Model m : {Model::kNsr, Model::kRma, Model::kNcl}) {
+      const auto run = run_match(g, 8, m, cfg);
+      EXPECT_EQ(run.matching.mate, baseline.matching.mate)
+          << "mutation " << mutate << " model " << model_name(m);
+    }
+  }
+}
+
+TEST(Property, WeightInvariantUnderRelabeling) {
+  const auto g = gen::erdos_renyi(300, 1800, 5);
+  const auto base = serial_half_approx(g);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto perm = order::random_order(g.nverts(), seed);
+    const auto pg = g.permuted(perm);
+    const auto pm = serial_half_approx(pg);
+    // Not necessarily the identical matching (tie hashing uses vertex
+    // ids), but all our weights are distinct so the greedy matching maps
+    // 1:1 through the relabeling.
+    EXPECT_NEAR(pm.weight, base.weight, 1e-9) << "seed " << seed;
+    EXPECT_EQ(pm.cardinality, base.cardinality);
+  }
+}
+
+TEST(Property, RankCountNeverChangesTheMatching) {
+  const auto g = gen::rmat(9, 8, 17);
+  const auto serial = serial_half_approx(g);
+  for (int p : {2, 4, 5, 8, 13, 32, 64}) {
+    const auto run = run_match(g, p, Model::kRma);
+    EXPECT_EQ(run.matching.mate, serial.mate) << "p=" << p;
+  }
+}
+
+TEST(Property, SimulatedTimeGrowsWithLatency) {
+  const auto g = gen::erdos_renyi(400, 2600, 3);
+  RunConfig slow;
+  slow.net.alpha_inter = 20000;
+  slow.net.alpha_intra = 10000;
+  const auto fast_run = run_match(g, 8, Model::kNsr);
+  const auto slow_run = run_match(g, 8, Model::kNsr, slow);
+  EXPECT_GT(slow_run.time, fast_run.time);
+}
+
+TEST(Property, MessageVolumeNearlyIndependentOfCostModel) {
+  // Timing changes which races occur (a vertex may court a candidate that
+  // a slightly earlier REJECT would have ruled out), so message counts
+  // wiggle by a few — but the fixed point and the volume band must hold.
+  const auto g = gen::erdos_renyi(400, 2600, 3);
+  RunConfig slow;
+  slow.net.o_send = 4000;
+  const auto a = run_match(g, 8, Model::kNsr);
+  const auto b = run_match(g, 8, Model::kNsr, slow);
+  EXPECT_EQ(a.matching.mate, b.matching.mate);
+  const auto lo = static_cast<double>(std::min(a.totals.isends, b.totals.isends));
+  const auto hi = static_cast<double>(std::max(a.totals.isends, b.totals.isends));
+  EXPECT_LT(hi / lo, 1.05);
+}
+
+TEST(Property, DenseGraphManyRanksStress) {
+  // Larger end-to-end stress across all models at p=64.
+  const auto g = gen::rmat(11, 8, 23);
+  const auto serial = serial_half_approx(g);
+  for (Model m : {Model::kNsr, Model::kRma, Model::kNcl, Model::kMbp}) {
+    const auto run = run_match(g, 64, m);
+    EXPECT_EQ(run.matching.mate, serial.mate) << model_name(m);
+  }
+}
+
+TEST(Property, StarGraphMatchesExactlyOneLeaf) {
+  // Star: hub must match its heaviest leaf; everyone else unmatched.
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId leaf = 1; leaf <= 50; ++leaf) {
+    edges.push_back({0, leaf, static_cast<double>(leaf)});
+  }
+  const auto g = graph::Csr::from_edges(51, edges);
+  const auto serial = serial_half_approx(g);
+  EXPECT_EQ(serial.mate[0], 50);
+  EXPECT_EQ(serial.cardinality, 1);
+  for (Model m : {Model::kNsr, Model::kRma, Model::kNcl}) {
+    const auto run = run_match(g, 7, m);
+    EXPECT_EQ(run.matching.mate, serial.mate) << model_name(m);
+  }
+}
+
+TEST(Property, PerfectMatchingOnWeightedLadder) {
+  // Ladder where rung weights dominate: every rung is locally dominant,
+  // so the matching is perfect and known in closed form.
+  std::vector<graph::Edge> edges;
+  const graph::VertexId k = 40;
+  for (graph::VertexId i = 0; i < k; ++i) {
+    edges.push_back({2 * i, 2 * i + 1, 10.0 + static_cast<double>(i)});
+    if (i + 1 < k) {
+      edges.push_back({2 * i, 2 * (i + 1), 1.0});
+      edges.push_back({2 * i + 1, 2 * (i + 1) + 1, 1.0});
+    }
+  }
+  const auto g = graph::Csr::from_edges(2 * k, edges);
+  for (Model m : {Model::kNsr, Model::kRma, Model::kNcl}) {
+    const auto run = run_match(g, 5, m);
+    EXPECT_EQ(run.matching.cardinality, k) << model_name(m);
+    for (graph::VertexId i = 0; i < k; ++i) {
+      EXPECT_EQ(run.matching.mate[2 * i], 2 * i + 1);
+    }
+  }
+}
+
+TEST(Property, HashedTieBreakingKillsPathChains) {
+  // The pathological case the paper cites: an equal-weight path would
+  // serialize under id-ordered tie breaking. Hashed ties resolve almost
+  // everything inside each rank in the very first round.
+  const auto run = run_match(gen::path(2048), 16, Model::kNcl);
+  EXPECT_LE(run.iterations, 4u);
+}
+
+TEST(Property, MonotoneWeightsForceCrossRankChains) {
+  // Strictly increasing weights on a path force the matching to alternate
+  // from the heavy end, so each rank waits for its right neighbor: the
+  // NCL round count grows with the rank count.
+  const graph::VertexId n = 2048;
+  std::vector<graph::Edge> edges;
+  for (graph::VertexId v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1, static_cast<double>(v + 1)});
+  }
+  const auto g = graph::Csr::from_edges(n, edges);
+  const auto run16 = run_match(g, 16, Model::kNcl);
+  EXPECT_EQ(run16.matching.mate, serial_half_approx(g).mate);
+  EXPECT_GE(run16.iterations, 8u);
+  const auto run4 = run_match(g, 4, Model::kNcl);
+  EXPECT_LT(run4.iterations, run16.iterations);
+}
+
+}  // namespace
+}  // namespace mel::match

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "world_fixture.hpp"
+
+namespace mel::test {
+namespace {
+
+using mpi::Comm;
+using mpi::ReduceOp;
+using sim::RankTask;
+
+TEST(Collective, AllreduceSum) {
+  World w(8);
+  std::vector<std::int64_t> results(8, -1);
+  auto body = [&](Comm& c) -> RankTask {
+    results[c.rank()] = co_await c.allreduce_sum(c.rank());
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(results[r], 28);
+}
+
+TEST(Collective, AllreduceMax) {
+  World w(5);
+  std::vector<std::int64_t> results(5, -1);
+  auto body = [&](Comm& c) -> RankTask {
+    results[c.rank()] = co_await c.allreduce_max(c.rank() * 7 - 3);
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(results[r], 25);
+}
+
+TEST(Collective, AllreduceVector) {
+  World w(4);
+  std::vector<std::int64_t> result0;
+  auto body = [&](Comm& c) -> RankTask {
+    std::vector<std::int64_t> mine{c.rank(), 1, -c.rank()};
+    auto out = co_await c.allreduce(std::move(mine), ReduceOp::kSum);
+    if (c.rank() == 0) result0 = out;
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_EQ(result0, (std::vector<std::int64_t>{6, 4, -6}));
+}
+
+TEST(Collective, AllreduceMin) {
+  World w(4);
+  std::int64_t result = 0;
+  auto body = [&](Comm& c) -> RankTask {
+    std::vector<std::int64_t> mine{c.rank() + 10};
+    auto out = co_await c.allreduce(std::move(mine), ReduceOp::kMin);
+    if (c.rank() == 3) result = out[0];
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_EQ(result, 10);
+}
+
+TEST(Collective, BarrierSynchronizesClocks) {
+  World w(4);
+  std::vector<sim::Time> after(4, 0);
+  auto body = [&](Comm& c) -> RankTask {
+    c.compute(c.rank() * 10 * sim::kMicrosecond);
+    co_await c.barrier();
+    after[c.rank()] = c.now();
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  // Everyone leaves the barrier at the same time, past the slowest arrival.
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(after[r], after[0]);
+  EXPECT_GT(after[0], 30 * sim::kMicrosecond);
+}
+
+TEST(Collective, RepeatedAllreducesSequenceCorrectly) {
+  World w(4);
+  std::vector<std::int64_t> sums;
+  auto body = [&](Comm& c) -> RankTask {
+    for (int round = 0; round < 10; ++round) {
+      const auto s = co_await c.allreduce_sum(round);
+      if (c.rank() == 0) sums.push_back(s);
+    }
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  ASSERT_EQ(sums.size(), 10u);
+  for (int round = 0; round < 10; ++round) EXPECT_EQ(sums[round], 4 * round);
+}
+
+TEST(Collective, MismatchedOpThrows) {
+  World w(2);
+  auto body = [&](Comm& c) -> RankTask {
+    std::vector<std::int64_t> one{1};
+    if (c.rank() == 0) {
+      (void)co_await c.allreduce(std::move(one), ReduceOp::kSum);
+    } else {
+      (void)co_await c.allreduce(std::move(one), ReduceOp::kMax);
+    }
+    co_return;
+  };
+  w.spawn_all(body);
+  EXPECT_THROW(w.run(), std::logic_error);
+}
+
+TEST(Collective, MissingParticipantDeadlocks) {
+  World w(3);
+  auto body = [&](Comm& c) -> RankTask {
+    if (c.rank() != 2) (void)co_await c.allreduce_sum(1);
+    co_return;
+  };
+  w.spawn_all(body);
+  EXPECT_THROW(w.run(), sim::DeadlockError);
+}
+
+TEST(Collective, SingleRankAllreduce) {
+  World w(1);
+  std::int64_t result = 0;
+  auto body = [&](Comm& c) -> RankTask {
+    result = co_await c.allreduce_sum(41);
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_EQ(result, 41);
+}
+
+TEST(Collective, CountersTrack) {
+  World w(2);
+  auto body = [&](Comm& c) -> RankTask {
+    (void)co_await c.allreduce_sum(1);
+    co_await c.barrier();
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_EQ(w.machine.counters(0).allreduces, 1u);
+  EXPECT_EQ(w.machine.counters(0).barriers, 1u);
+}
+
+}  // namespace
+}  // namespace mel::test

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "world_fixture.hpp"
+
+namespace mel::test {
+namespace {
+
+using mpi::Comm;
+using sim::RankTask;
+
+TEST(Neighbor, RingExchangeI64) {
+  World w(4);
+  w.ring_topology();
+  w.machine.validate_topology();
+  std::vector<std::vector<std::int64_t>> got(4);
+  auto body = [&](Comm& c) -> RankTask {
+    // Send my rank to each neighbor.
+    std::vector<std::int64_t> vals(c.neighbors().size(), c.rank());
+    got[c.rank()] = co_await c.neighbor_alltoall_i64(vals);
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  // Rank 0's neighbors on a 4-ring are {3, 1} (prev, next).
+  EXPECT_EQ(got[0], (std::vector<std::int64_t>{3, 1}));
+  EXPECT_EQ(got[2], (std::vector<std::int64_t>{1, 3}));
+}
+
+TEST(Neighbor, AlltoallvVariableSizes) {
+  World w(3);
+  w.full_topology();
+  std::vector<std::vector<std::int64_t>> got(3);
+  auto body = [&](Comm& c) -> RankTask {
+    // Rank r sends (r+1) records of value r to each neighbor.
+    std::vector<std::vector<std::byte>> slices;
+    for (std::size_t i = 0; i < c.neighbors().size(); ++i) {
+      std::vector<std::byte> slice;
+      for (int k = 0; k <= c.rank(); ++k) {
+        const auto b = mpi::to_bytes<std::int64_t>(c.rank());
+        slice.insert(slice.end(), b.begin(), b.end());
+      }
+      slices.push_back(std::move(slice));
+    }
+    const auto recv = co_await c.neighbor_alltoallv(std::move(slices));
+    for (const auto& slice : recv) {
+      const auto n = mpi::record_count<std::int64_t>(slice);
+      for (std::size_t i = 0; i < n; ++i) {
+        got[c.rank()].push_back(mpi::nth_record<std::int64_t>(slice, i));
+      }
+    }
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  // Rank 0 receives from 1 (two records of 1) and 2 (three records of 2).
+  EXPECT_EQ(got[0], (std::vector<std::int64_t>{1, 1, 2, 2, 2}));
+  EXPECT_EQ(got[1], (std::vector<std::int64_t>{0, 2, 2, 2}));
+}
+
+TEST(Neighbor, EmptySlicesAllowed) {
+  World w(3);
+  w.ring_topology();
+  bool done = false;
+  auto body = [&](Comm& c) -> RankTask {
+    std::vector<std::vector<std::byte>> empty(c.neighbors().size());
+    (void)co_await c.neighbor_alltoallv(std::move(empty));
+    if (c.rank() == 0) done = true;
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Neighbor, RepeatedCollectivesStaySequenced) {
+  constexpr int kRounds = 20;
+  World w(4);
+  w.ring_topology();
+  std::vector<int> mismatches(4, 0);
+  auto body = [&](Comm& c) -> RankTask {
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<std::int64_t> vals(c.neighbors().size(),
+                                     c.rank() * 1000 + round);
+      const auto recv = co_await c.neighbor_alltoall_i64(vals);
+      for (std::size_t i = 0; i < recv.size(); ++i) {
+        if (recv[i] % 1000 != round) ++mismatches[c.rank()];
+        if (recv[i] / 1000 != c.neighbors()[i]) ++mismatches[c.rank()];
+      }
+    }
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(mismatches[r], 0) << "rank " << r;
+}
+
+TEST(Neighbor, CompletionWaitsForSlowestNeighbor) {
+  World w(3);
+  w.ring_topology();
+  sim::Time done_at_0 = 0;
+  auto body = [&](Comm& c) -> RankTask {
+    if (c.rank() == 2) c.compute(50 * sim::kMicrosecond);
+    std::vector<std::int64_t> vals(c.neighbors().size(), 1);
+    (void)co_await c.neighbor_alltoall_i64(vals);
+    if (c.rank() == 0) done_at_0 = c.now();
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  // Rank 0 neighbors rank 2 (ring of 3), so it must wait for it.
+  EXPECT_GT(done_at_0, 50 * sim::kMicrosecond);
+}
+
+TEST(Neighbor, NonNeighborsDoNotSynchronize) {
+  // Line topology 0-1, 2-3 (two disjoint pairs): the pair {0,1} completes
+  // without waiting for the slow pair {2,3}.
+  World w(4);
+  w.machine.set_topology(0, {1});
+  w.machine.set_topology(1, {0});
+  w.machine.set_topology(2, {3});
+  w.machine.set_topology(3, {2});
+  w.machine.validate_topology();
+  sim::Time done_at_0 = 0;
+  auto body = [&](Comm& c) -> RankTask {
+    if (c.rank() >= 2) c.compute(1 * sim::kSecond);
+    std::vector<std::int64_t> vals(c.neighbors().size(), 7);
+    (void)co_await c.neighbor_alltoall_i64(vals);
+    if (c.rank() == 0) done_at_0 = c.now();
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_LT(done_at_0, 1 * sim::kMillisecond);
+}
+
+TEST(Neighbor, AsymmetricTopologyRejected) {
+  World w(2);
+  w.machine.set_topology(0, {1});
+  w.machine.set_topology(1, {});
+  EXPECT_THROW(w.machine.validate_topology(), std::logic_error);
+}
+
+TEST(Neighbor, DuplicateNeighborRejected) {
+  World w(3);
+  w.machine.set_topology(0, {1, 1});
+  w.machine.set_topology(1, {0});
+  w.machine.set_topology(2, {});
+  EXPECT_THROW(w.machine.validate_topology(), std::logic_error);
+}
+
+TEST(Neighbor, SelfNeighborRejected) {
+  World w(2);
+  EXPECT_THROW(w.machine.set_topology(0, {0}), std::invalid_argument);
+}
+
+TEST(Neighbor, WrongSliceCountThrows) {
+  World w(2);
+  w.ring_topology();
+  auto body = [&](Comm& c) -> RankTask {
+    std::vector<std::vector<std::byte>> slices(5);  // degree is 1
+    (void)co_await c.neighbor_alltoallv(std::move(slices));
+    co_return;
+  };
+  w.spawn_all(body);
+  EXPECT_THROW(w.run(), std::invalid_argument);
+}
+
+TEST(Neighbor, IsolatedRankCompletesImmediately) {
+  World w(3);
+  w.machine.set_topology(0, {1});
+  w.machine.set_topology(1, {0});
+  w.machine.set_topology(2, {});
+  bool isolated_done = false;
+  auto body = [&](Comm& c) -> RankTask {
+    std::vector<std::int64_t> vals(c.neighbors().size(), 0);
+    (void)co_await c.neighbor_alltoall_i64(vals);
+    if (c.rank() == 2) isolated_done = true;
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_TRUE(isolated_done);
+}
+
+TEST(Neighbor, CountersAndMatrix) {
+  World w(2);
+  w.ring_topology();
+  auto body = [&](Comm& c) -> RankTask {
+    std::vector<std::int64_t> vals(c.neighbors().size(), 42);
+    (void)co_await c.neighbor_alltoall_i64(vals);
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_EQ(w.machine.counters(0).neighbor_colls, 1u);
+  EXPECT_EQ(w.machine.counters(0).bytes_coll, 8u);
+  EXPECT_EQ(w.machine.matrix().msgs(0, 1), 1u);
+  EXPECT_EQ(w.machine.matrix().msgs(1, 0), 1u);
+}
+
+TEST(Neighbor, SplitPhaseMatchesBlocking) {
+  World w(4);
+  w.ring_topology();
+  std::vector<std::vector<std::int64_t>> got(4);
+  auto body = [&](Comm& c) -> RankTask {
+    std::vector<std::vector<std::byte>> slices;
+    for (std::size_t i = 0; i < c.neighbors().size(); ++i) {
+      slices.push_back(mpi::to_bytes<std::int64_t>(c.rank() * 100));
+    }
+    mpi::NeighborRequest req;
+    c.ineighbor_alltoallv(std::move(slices), req);
+    c.compute(5 * sim::kMicrosecond);  // overlapped work
+    co_await c.ineighbor_wait(req);
+    for (const auto& slice : req.recv) {
+      got[c.rank()].push_back(mpi::from_bytes<std::int64_t>(slice));
+    }
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_EQ(got[0], (std::vector<std::int64_t>{300, 100}));
+  EXPECT_EQ(got[2], (std::vector<std::int64_t>{100, 300}));
+}
+
+TEST(Neighbor, SplitPhaseOverlapHidesLatency) {
+  // With enough overlapped compute, the wait should be (nearly) free:
+  // total time ~ compute, not compute + collective.
+  World w(2);
+  w.ring_topology();
+  sim::Time split_time = 0, blocking_time = 0;
+  {
+    World wb(2);
+    wb.ring_topology();
+    auto blocking = [&](Comm& c) -> RankTask {
+      std::vector<std::vector<std::byte>> slices(c.neighbors().size());
+      (void)co_await c.neighbor_alltoallv(std::move(slices));
+      c.compute(100 * sim::kMicrosecond);
+      if (c.rank() == 0) blocking_time = c.now();
+      co_return;
+    };
+    wb.spawn_all(blocking);
+    wb.run();
+  }
+  auto split = [&](Comm& c) -> RankTask {
+    std::vector<std::vector<std::byte>> slices(c.neighbors().size());
+    mpi::NeighborRequest req;
+    c.ineighbor_alltoallv(std::move(slices), req);
+    c.compute(100 * sim::kMicrosecond);
+    co_await c.ineighbor_wait(req);
+    if (c.rank() == 0) split_time = c.now();
+    co_return;
+  };
+  w.spawn_all(split);
+  w.run();
+  EXPECT_LE(split_time, blocking_time);
+}
+
+TEST(Neighbor, DoubleBeginThrows) {
+  World w(2);
+  w.ring_topology();
+  auto body = [&](Comm& c) -> RankTask {
+    mpi::NeighborRequest a, b;
+    std::vector<std::vector<std::byte>> s1(c.neighbors().size());
+    std::vector<std::vector<std::byte>> s2(c.neighbors().size());
+    c.ineighbor_alltoallv(std::move(s1), a);
+    c.ineighbor_alltoallv(std::move(s2), b);  // second outstanding: error
+    co_return;
+  };
+  w.spawn_all(body);
+  EXPECT_THROW(w.run(), std::logic_error);
+}
+
+TEST(Neighbor, WaitWithoutBeginThrows) {
+  World w(2);
+  w.ring_topology();
+  auto body = [&](Comm& c) -> RankTask {
+    mpi::NeighborRequest req;
+    co_await c.ineighbor_wait(req);
+    co_return;
+  };
+  w.spawn_all(body);
+  EXPECT_THROW(w.run(), std::logic_error);
+}
+
+TEST(Neighbor, DeadlockWhenNeighborNeverArrives) {
+  World w(2);
+  w.ring_topology();
+  auto body = [&](Comm& c) -> RankTask {
+    if (c.rank() == 0) {
+      std::vector<std::int64_t> vals(c.neighbors().size(), 0);
+      (void)co_await c.neighbor_alltoall_i64(vals);
+    }
+    co_return;
+  };
+  w.spawn_all(body);
+  EXPECT_THROW(w.run(), sim::DeadlockError);
+}
+
+}  // namespace
+}  // namespace mel::test

@@ -1,0 +1,83 @@
+#include "mel/net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mel::net {
+namespace {
+
+Params small_params() {
+  Params p;
+  p.ranks_per_node = 4;
+  return p;
+}
+
+TEST(Network, NodePlacement) {
+  Network n(16, small_params());
+  EXPECT_EQ(n.nnodes(), 4);
+  EXPECT_EQ(n.node_of(0), 0);
+  EXPECT_EQ(n.node_of(3), 0);
+  EXPECT_EQ(n.node_of(4), 1);
+  EXPECT_EQ(n.node_of(15), 3);
+  EXPECT_TRUE(n.same_node(0, 3));
+  EXPECT_FALSE(n.same_node(3, 4));
+}
+
+TEST(Network, PartialLastNode) {
+  Network n(10, small_params());
+  EXPECT_EQ(n.nnodes(), 3);
+}
+
+TEST(Network, RejectsBadArgs) {
+  EXPECT_THROW(Network(0, small_params()), std::invalid_argument);
+  Params p = small_params();
+  p.ranks_per_node = 0;
+  EXPECT_THROW(Network(4, p), std::invalid_argument);
+}
+
+TEST(Network, IntraCheaperThanInter) {
+  Network n(16, small_params());
+  EXPECT_LT(n.transfer_time(0, 1, 64), n.transfer_time(0, 5, 64));
+}
+
+TEST(Network, TransferScalesWithBytes) {
+  Network n(16, small_params());
+  const auto small = n.transfer_time(0, 5, 8);
+  const auto big = n.transfer_time(0, 5, 1 << 20);
+  EXPECT_GT(big, small);
+  // The large-message delta should be dominated by the bandwidth term.
+  const auto& p = n.params();
+  EXPECT_NEAR(static_cast<double>(big - small),
+              (static_cast<double>((1 << 20) - 8)) * p.beta_inter,
+              1e3);
+}
+
+TEST(Network, SelfSendIsCheapest) {
+  Network n(16, small_params());
+  EXPECT_LT(n.transfer_time(3, 3, 64), n.transfer_time(0, 1, 64));
+}
+
+TEST(Network, CollectiveEntryGrowsWithNeighbors) {
+  Network n(16, small_params());
+  EXPECT_LT(n.collective_entry(1), n.collective_entry(15));
+  const auto& p = n.params();
+  EXPECT_EQ(n.collective_entry(0), p.o_coll_base);
+  EXPECT_EQ(n.collective_entry(10), p.o_coll_base + 10 * p.o_coll_per_neighbor);
+}
+
+TEST(Network, ReductionTimeIsLogP) {
+  Params p = small_params();
+  Network n16(16, p), n256(256, p);
+  EXPECT_EQ(n16.reduction_time(), 4 * p.o_reduce_hop);
+  EXPECT_EQ(n256.reduction_time(), 8 * p.o_reduce_hop);
+  Network n1(1, p);
+  EXPECT_EQ(n1.reduction_time(), p.o_reduce_hop);
+}
+
+TEST(Network, CopyTimeMonotone) {
+  Network n(4, small_params());
+  EXPECT_LE(n.copy_time(0), n.copy_time(1024));
+  EXPECT_LT(n.copy_time(1024), n.copy_time(1024 * 1024));
+}
+
+}  // namespace
+}  // namespace mel::net

@@ -1,0 +1,54 @@
+#include "mel/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mel::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  const auto cli = make({"prog", "--scale", "16", "--name", "rgg"});
+  EXPECT_EQ(cli.get_int("scale", 0), 16);
+  EXPECT_EQ(cli.get("name", ""), "rgg");
+}
+
+TEST(Cli, ParsesEqualsValues) {
+  const auto cli = make({"prog", "--scale=18", "--ratio=0.5"});
+  EXPECT_EQ(cli.get_int("scale", 0), 18);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 0.5);
+}
+
+TEST(Cli, BooleanFlags) {
+  const auto cli = make({"prog", "--verbose", "--csv=false"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("csv", true));
+  EXPECT_TRUE(cli.get_bool("absent", true));
+  EXPECT_FALSE(cli.get_bool("absent", false));
+}
+
+TEST(Cli, Fallbacks) {
+  const auto cli = make({"prog"});
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, Positional) {
+  const auto cli = make({"prog", "input.graph", "--p", "8", "out.csv"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.graph");
+  EXPECT_EQ(cli.positional()[1], "out.csv");
+}
+
+TEST(Cli, ParseIntList) {
+  EXPECT_EQ(parse_int_list("1,2,3"), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(parse_int_list("64"), (std::vector<std::int64_t>{64}));
+  EXPECT_TRUE(parse_int_list("").empty());
+}
+
+}  // namespace
+}  // namespace mel::util

@@ -1,0 +1,102 @@
+#include "mel/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mel::util {
+namespace {
+
+TEST(Rng, Splitmix64IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(Rng, Hash64IsStableAndMixes) {
+  EXPECT_EQ(hash64(1), hash64(1));
+  EXPECT_NE(hash64(1), hash64(2));
+  // Consecutive inputs should not produce consecutive outputs.
+  EXPECT_NE(hash64(2) - hash64(1), hash64(3) - hash64(2));
+}
+
+TEST(Rng, Hash64InjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(hash64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, XoshiroSameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, XoshiroDifferentSeedsDiffer) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 g(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = g.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRoughlyUniform) {
+  Xoshiro256 g(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256 g(99);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(g.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroOrOneBoundReturnsZero) {
+  Xoshiro256 g(1);
+  EXPECT_EQ(g.next_below(0), 0u);
+  EXPECT_EQ(g.next_below(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Xoshiro256 g(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = g.next_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Xoshiro256 g(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += g.next_bool(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace mel::util

@@ -1,0 +1,43 @@
+#include "mel/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mel::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"graph", "p", "time"});
+  t.add_row({"rgg", "64", "1.25"});
+  t.add_row({"rmat", "128", "0.50"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("graph"), std::string::npos);
+  EXPECT_NE(s.find("rmat"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+}
+
+TEST(Format, FmtSi) {
+  EXPECT_EQ(fmt_si(1500.0, 1), "1.5K");
+  EXPECT_EQ(fmt_si(2500000.0, 1), "2.5M");
+  EXPECT_EQ(fmt_si(3100000000.0, 1), "3.1B");
+  EXPECT_EQ(fmt_si(12.0, 0), "12");
+}
+
+TEST(Format, FmtBytes) {
+  EXPECT_EQ(fmt_bytes(512.0, 0), "512 B");
+  EXPECT_EQ(fmt_bytes(2048.0, 1), "2.0 KiB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024, 1), "3.5 MiB");
+}
+
+}  // namespace
+}  // namespace mel::util

@@ -1,0 +1,163 @@
+// melsim — run any algorithm x input x communication model combination on
+// the simulated machine from the command line.
+//
+//   melsim --algo match --model NCL --ranks 64 --dataset Orkut-like
+//   melsim --algo match --model RMA --ranks 32 --mtx path/to/graph.mtx
+//   melsim --algo bfs   --model NSR --ranks 16 --gen rmat --gen-scale 14
+//   melsim --algo color --model NCL --ranks 64 --gen er --verts 20000
+//
+// Options:
+//   --algo match|bfs|color          (default match)
+//   --model NSR|RMA|NCL|MBP|NSR-AGG|RMA-FENCE|NCL-NB   (default NCL)
+//   --ranks P                       simulated MPI ranks (default 64)
+//   input (one of):
+//     --dataset <Table II id>  [--scale N]
+//     --mtx <file.mtx> | --bin <file.melg>
+//     --gen rmat|rgg|er|ba|ws|sbp|chunglu  with --verts/--edges/--gen-scale
+//   --rcm                           apply RCM reordering first
+//   --edge-balance                  edge-balanced 1D partition (match only)
+//   --trace out.json                write a Chrome/Perfetto trace
+//   --matrix out.csv                write the comm matrix (bytes) as CSV
+//   --csv                           machine-readable one-line summary
+#include <cstdio>
+#include <string>
+
+#include "mel/bfs/bfs.hpp"
+#include "mel/color/color.hpp"
+#include "mel/gen/registry.hpp"
+#include "mel/graph/io.hpp"
+#include "mel/graph/stats.hpp"
+#include "mel/match/driver.hpp"
+#include "mel/match/verify.hpp"
+#include "mel/order/rcm.hpp"
+#include "mel/perf/energy.hpp"
+#include "mel/perf/report.hpp"
+#include "mel/perf/trace.hpp"
+#include "mel/util/cli.hpp"
+
+using namespace mel;
+
+namespace {
+
+match::Model parse_model(const std::string& name) {
+  for (const auto m :
+       {match::Model::kNsr, match::Model::kRma, match::Model::kNcl,
+        match::Model::kMbp, match::Model::kNsrAgg, match::Model::kRmaFence,
+        match::Model::kNclNb}) {
+    if (name == match::model_name(m)) return m;
+  }
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+graph::Csr load_graph(const util::Cli& cli) {
+  if (cli.has("mtx")) return graph::read_matrix_market_file(cli.get("mtx", ""));
+  if (cli.has("bin")) return graph::read_binary_file(cli.get("bin", ""));
+  if (cli.has("dataset")) {
+    return gen::find_dataset(cli.get("dataset", ""),
+                             static_cast<int>(cli.get_int("scale", 0)),
+                             static_cast<std::uint64_t>(cli.get_int("seed", 1)))
+        .build();
+  }
+  const std::string kind = cli.get("gen", "rmat");
+  const auto n = cli.get_int("verts", 1 << 15);
+  const auto m = cli.get_int("edges", n * 16);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const int gscale = static_cast<int>(cli.get_int("gen-scale", 14));
+  if (kind == "rmat") return gen::rmat(gscale, 16, seed);
+  if (kind == "rgg") {
+    return gen::random_geometric(n, gen::rgg_radius_for_degree(n, 24.0), seed);
+  }
+  if (kind == "er") return gen::erdos_renyi(n, m, seed);
+  if (kind == "ba") return gen::barabasi_albert(n, 8, seed);
+  if (kind == "ws") return gen::watts_strogatz(n, 8, 0.1, seed);
+  if (kind == "sbp") return gen::stochastic_block(n, n * 24, 32, 0.6, seed);
+  if (kind == "chunglu") return gen::chung_lu(n, m, 2.3, seed);
+  throw std::invalid_argument("unknown generator: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string algo = cli.get("algo", "match");
+  const auto model = parse_model(cli.get("model", "NCL"));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 64));
+  const bool csv = cli.get_bool("csv", false);
+
+  graph::Csr g = load_graph(cli);
+  if (cli.get_bool("rcm", false)) g = g.permuted(order::rcm(g));
+  if (!csv) {
+    std::printf("input: |V|=%lld |E|=%lld  algo=%s model=%s p=%d\n",
+                static_cast<long long>(g.nverts()),
+                static_cast<long long>(g.nedges()), algo.c_str(),
+                match::model_name(model), ranks);
+  }
+
+  perf::ChromeTracer tracer;
+  match::RunConfig cfg;
+  cfg.collect_matrix = cli.has("matrix");
+  if (cli.has("trace")) cfg.tracer = &tracer;
+
+  if (algo == "match") {
+    match::RunResult run;
+    if (cli.get_bool("edge-balance", false)) {
+      const graph::DistGraph dg(g, graph::edge_balanced_partition(g, ranks));
+      run = match::run_match(dg, model, cfg);
+      run.matching.weight = match::matching_weight(g, run.matching.mate);
+    } else {
+      run = match::run_match(g, ranks, model, cfg);
+    }
+    const bool valid = match::is_valid_matching(g, run.matching.mate);
+    const auto energy = perf::energy_report(run, cfg.net);
+    const auto memory = perf::memory_report(run);
+    if (csv) {
+      std::printf("match,%s,%d,%.6f,%.3f,%lld,%d,%.1f,%.4f\n",
+                  match::model_name(model), ranks, run.seconds(),
+                  run.matching.weight,
+                  static_cast<long long>(run.matching.cardinality), valid,
+                  memory.avg_mb_per_rank(), energy.node_energy_kj);
+    } else {
+      std::printf("%s\n", perf::run_summary(run).c_str());
+      std::printf("valid=%s  mem=%.1f MB/proc  energy=%.4f kJ  comp%%=%.1f "
+                  "MPI%%=%.1f\n",
+                  valid ? "yes" : "NO", memory.avg_mb_per_rank(),
+                  energy.node_energy_kj, energy.comp_pct, energy.mpi_pct);
+    }
+    if (cli.has("matrix") && run.matrix != nullptr) {
+      std::FILE* f = std::fopen(cli.get("matrix", "").c_str(), "w");
+      if (f != nullptr) {
+        const auto text = perf::matrix_csv(*run.matrix, true);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      }
+    }
+    if (!valid) return 1;
+  } else if (algo == "bfs") {
+    const auto run = bfs::run_bfs(g, ranks, cli.get_int("root", 0), model, cfg);
+    const bool ok = run.dist == bfs::serial_bfs(g, cli.get_int("root", 0));
+    std::printf("bfs,%s,%d,%.6f,levels=%lld,correct=%s\n",
+                match::model_name(model), ranks, sim::to_seconds(run.time),
+                static_cast<long long>(run.levels), ok ? "yes" : "NO");
+    if (!ok) return 1;
+  } else if (algo == "color") {
+    const auto run = color::run_coloring(g, ranks, model, cfg);
+    const bool ok = color::is_proper_coloring(g, run.colors);
+    std::printf("color,%s,%d,%.6f,colors=%lld,rounds=%lld,proper=%s\n",
+                match::model_name(model), ranks, sim::to_seconds(run.time),
+                static_cast<long long>(color::color_count(run.colors)),
+                static_cast<long long>(run.rounds), ok ? "yes" : "NO");
+    if (!ok) return 1;
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+    return 2;
+  }
+
+  if (cli.has("trace")) {
+    tracer.write_file(cli.get("trace", "trace.json"));
+    if (!csv) {
+      std::printf("trace: %zu events -> %s\n", tracer.events().size(),
+                  cli.get("trace", "trace.json").c_str());
+    }
+  }
+  return 0;
+}
