@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_comm_matrix.dir/bench_fig02_comm_matrix.cpp.o"
+  "CMakeFiles/bench_fig02_comm_matrix.dir/bench_fig02_comm_matrix.cpp.o.d"
+  "bench_fig02_comm_matrix"
+  "bench_fig02_comm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_comm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04a_weak_rgg.dir/bench_fig04a_weak_rgg.cpp.o"
+  "CMakeFiles/bench_fig04a_weak_rgg.dir/bench_fig04a_weak_rgg.cpp.o.d"
+  "bench_fig04a_weak_rgg"
+  "bench_fig04a_weak_rgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04a_weak_rgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

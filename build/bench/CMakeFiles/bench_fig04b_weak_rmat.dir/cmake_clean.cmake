@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04b_weak_rmat.dir/bench_fig04b_weak_rmat.cpp.o"
+  "CMakeFiles/bench_fig04b_weak_rmat.dir/bench_fig04b_weak_rmat.cpp.o.d"
+  "bench_fig04b_weak_rmat"
+  "bench_fig04b_weak_rmat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04b_weak_rmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

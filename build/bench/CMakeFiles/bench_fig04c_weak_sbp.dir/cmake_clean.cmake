@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04c_weak_sbp.dir/bench_fig04c_weak_sbp.cpp.o"
+  "CMakeFiles/bench_fig04c_weak_sbp.dir/bench_fig04c_weak_sbp.cpp.o.d"
+  "bench_fig04c_weak_sbp"
+  "bench_fig04c_weak_sbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04c_weak_sbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_strong_kmer.dir/bench_fig05_strong_kmer.cpp.o"
+  "CMakeFiles/bench_fig05_strong_kmer.dir/bench_fig05_strong_kmer.cpp.o.d"
+  "bench_fig05_strong_kmer"
+  "bench_fig05_strong_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_strong_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_strong_social.dir/bench_fig06_strong_social.cpp.o"
+  "CMakeFiles/bench_fig06_strong_social.dir/bench_fig06_strong_social.cpp.o.d"
+  "bench_fig06_strong_social"
+  "bench_fig06_strong_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_strong_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_spy_rcm.dir/bench_fig07_spy_rcm.cpp.o"
+  "CMakeFiles/bench_fig07_spy_rcm.dir/bench_fig07_spy_rcm.cpp.o.d"
+  "bench_fig07_spy_rcm"
+  "bench_fig07_spy_rcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_spy_rcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_reorder_runtime.cpp" "bench/CMakeFiles/bench_fig08_reorder_runtime.dir/bench_fig08_reorder_runtime.cpp.o" "gcc" "bench/CMakeFiles/bench_fig08_reorder_runtime.dir/bench_fig08_reorder_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/mel_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/mel_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/mel_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/mel_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfs/CMakeFiles/mel_bfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mel_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mel_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

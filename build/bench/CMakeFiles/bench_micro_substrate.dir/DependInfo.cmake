@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_substrate.cpp" "bench/CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/mel_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/mel_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mel_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mel_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

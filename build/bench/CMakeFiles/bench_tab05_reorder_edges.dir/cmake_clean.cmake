@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_reorder_edges.dir/bench_tab05_reorder_edges.cpp.o"
+  "CMakeFiles/bench_tab05_reorder_edges.dir/bench_tab05_reorder_edges.cpp.o.d"
+  "bench_tab05_reorder_edges"
+  "bench_tab05_reorder_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_reorder_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

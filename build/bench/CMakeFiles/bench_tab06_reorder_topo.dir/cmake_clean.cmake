@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab06_reorder_topo.dir/bench_tab06_reorder_topo.cpp.o"
+  "CMakeFiles/bench_tab06_reorder_topo.dir/bench_tab06_reorder_topo.cpp.o.d"
+  "bench_tab06_reorder_topo"
+  "bench_tab06_reorder_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab06_reorder_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

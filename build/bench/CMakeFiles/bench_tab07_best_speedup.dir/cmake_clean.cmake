@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab07_best_speedup.dir/bench_tab07_best_speedup.cpp.o"
+  "CMakeFiles/bench_tab07_best_speedup.dir/bench_tab07_best_speedup.cpp.o.d"
+  "bench_tab07_best_speedup"
+  "bench_tab07_best_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab07_best_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab08_energy_memory.dir/bench_tab08_energy_memory.cpp.o"
+  "CMakeFiles/bench_tab08_energy_memory.dir/bench_tab08_energy_memory.cpp.o.d"
+  "bench_tab08_energy_memory"
+  "bench_tab08_energy_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab08_energy_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

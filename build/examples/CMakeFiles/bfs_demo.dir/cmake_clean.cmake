@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_demo.dir/bfs_demo.cpp.o"
+  "CMakeFiles/bfs_demo.dir/bfs_demo.cpp.o.d"
+  "bfs_demo"
+  "bfs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

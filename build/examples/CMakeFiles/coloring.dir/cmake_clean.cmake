@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coloring.dir/coloring.cpp.o"
+  "CMakeFiles/coloring.dir/coloring.cpp.o.d"
+  "coloring"
+  "coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

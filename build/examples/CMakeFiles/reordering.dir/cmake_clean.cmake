@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reordering.dir/reordering.cpp.o"
+  "CMakeFiles/reordering.dir/reordering.cpp.o.d"
+  "reordering"
+  "reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

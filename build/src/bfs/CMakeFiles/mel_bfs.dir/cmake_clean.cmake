@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_bfs.dir/src/bfs.cpp.o"
+  "CMakeFiles/mel_bfs.dir/src/bfs.cpp.o.d"
+  "libmel_bfs.a"
+  "libmel_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

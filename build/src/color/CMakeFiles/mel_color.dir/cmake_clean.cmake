@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_color.dir/src/color.cpp.o"
+  "CMakeFiles/mel_color.dir/src/color.cpp.o.d"
+  "libmel_color.a"
+  "libmel_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

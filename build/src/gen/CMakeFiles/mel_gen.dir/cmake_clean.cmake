@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_gen.dir/src/generators.cpp.o"
+  "CMakeFiles/mel_gen.dir/src/generators.cpp.o.d"
+  "CMakeFiles/mel_gen.dir/src/registry.cpp.o"
+  "CMakeFiles/mel_gen.dir/src/registry.cpp.o.d"
+  "libmel_gen.a"
+  "libmel_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/src/csr.cpp" "src/graph/CMakeFiles/mel_graph.dir/src/csr.cpp.o" "gcc" "src/graph/CMakeFiles/mel_graph.dir/src/csr.cpp.o.d"
+  "/root/repo/src/graph/src/dist.cpp" "src/graph/CMakeFiles/mel_graph.dir/src/dist.cpp.o" "gcc" "src/graph/CMakeFiles/mel_graph.dir/src/dist.cpp.o.d"
+  "/root/repo/src/graph/src/io.cpp" "src/graph/CMakeFiles/mel_graph.dir/src/io.cpp.o" "gcc" "src/graph/CMakeFiles/mel_graph.dir/src/io.cpp.o.d"
+  "/root/repo/src/graph/src/stats.cpp" "src/graph/CMakeFiles/mel_graph.dir/src/stats.cpp.o" "gcc" "src/graph/CMakeFiles/mel_graph.dir/src/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mel_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_graph.dir/src/csr.cpp.o"
+  "CMakeFiles/mel_graph.dir/src/csr.cpp.o.d"
+  "CMakeFiles/mel_graph.dir/src/dist.cpp.o"
+  "CMakeFiles/mel_graph.dir/src/dist.cpp.o.d"
+  "CMakeFiles/mel_graph.dir/src/io.cpp.o"
+  "CMakeFiles/mel_graph.dir/src/io.cpp.o.d"
+  "CMakeFiles/mel_graph.dir/src/stats.cpp.o"
+  "CMakeFiles/mel_graph.dir/src/stats.cpp.o.d"
+  "libmel_graph.a"
+  "libmel_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_match.dir/src/backends.cpp.o"
+  "CMakeFiles/mel_match.dir/src/backends.cpp.o.d"
+  "CMakeFiles/mel_match.dir/src/driver.cpp.o"
+  "CMakeFiles/mel_match.dir/src/driver.cpp.o.d"
+  "CMakeFiles/mel_match.dir/src/engine.cpp.o"
+  "CMakeFiles/mel_match.dir/src/engine.cpp.o.d"
+  "CMakeFiles/mel_match.dir/src/serial.cpp.o"
+  "CMakeFiles/mel_match.dir/src/serial.cpp.o.d"
+  "CMakeFiles/mel_match.dir/src/verify.cpp.o"
+  "CMakeFiles/mel_match.dir/src/verify.cpp.o.d"
+  "libmel_match.a"
+  "libmel_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/src/comm.cpp" "src/mpi/CMakeFiles/mel_mpi.dir/src/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/mel_mpi.dir/src/comm.cpp.o.d"
+  "/root/repo/src/mpi/src/machine.cpp" "src/mpi/CMakeFiles/mel_mpi.dir/src/machine.cpp.o" "gcc" "src/mpi/CMakeFiles/mel_mpi.dir/src/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/mel_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

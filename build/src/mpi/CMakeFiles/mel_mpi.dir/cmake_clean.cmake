@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_mpi.dir/src/comm.cpp.o"
+  "CMakeFiles/mel_mpi.dir/src/comm.cpp.o.d"
+  "CMakeFiles/mel_mpi.dir/src/machine.cpp.o"
+  "CMakeFiles/mel_mpi.dir/src/machine.cpp.o.d"
+  "libmel_mpi.a"
+  "libmel_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

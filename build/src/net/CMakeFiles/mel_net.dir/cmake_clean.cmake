@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_net.dir/src/network.cpp.o"
+  "CMakeFiles/mel_net.dir/src/network.cpp.o.d"
+  "libmel_net.a"
+  "libmel_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_order.dir/src/rcm.cpp.o"
+  "CMakeFiles/mel_order.dir/src/rcm.cpp.o.d"
+  "libmel_order.a"
+  "libmel_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/src/energy.cpp" "src/perf/CMakeFiles/mel_perf.dir/src/energy.cpp.o" "gcc" "src/perf/CMakeFiles/mel_perf.dir/src/energy.cpp.o.d"
+  "/root/repo/src/perf/src/profile.cpp" "src/perf/CMakeFiles/mel_perf.dir/src/profile.cpp.o" "gcc" "src/perf/CMakeFiles/mel_perf.dir/src/profile.cpp.o.d"
+  "/root/repo/src/perf/src/report.cpp" "src/perf/CMakeFiles/mel_perf.dir/src/report.cpp.o" "gcc" "src/perf/CMakeFiles/mel_perf.dir/src/report.cpp.o.d"
+  "/root/repo/src/perf/src/trace.cpp" "src/perf/CMakeFiles/mel_perf.dir/src/trace.cpp.o" "gcc" "src/perf/CMakeFiles/mel_perf.dir/src/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/mel_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mel_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mel_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

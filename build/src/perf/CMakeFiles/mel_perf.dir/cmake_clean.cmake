@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_perf.dir/src/energy.cpp.o"
+  "CMakeFiles/mel_perf.dir/src/energy.cpp.o.d"
+  "CMakeFiles/mel_perf.dir/src/profile.cpp.o"
+  "CMakeFiles/mel_perf.dir/src/profile.cpp.o.d"
+  "CMakeFiles/mel_perf.dir/src/report.cpp.o"
+  "CMakeFiles/mel_perf.dir/src/report.cpp.o.d"
+  "CMakeFiles/mel_perf.dir/src/trace.cpp.o"
+  "CMakeFiles/mel_perf.dir/src/trace.cpp.o.d"
+  "libmel_perf.a"
+  "libmel_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

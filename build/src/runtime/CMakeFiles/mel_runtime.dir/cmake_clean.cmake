@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_runtime.dir/src/simulator.cpp.o"
+  "CMakeFiles/mel_runtime.dir/src/simulator.cpp.o.d"
+  "libmel_runtime.a"
+  "libmel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

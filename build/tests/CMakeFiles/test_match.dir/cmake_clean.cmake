@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match.dir/match/dist_test.cpp.o"
+  "CMakeFiles/test_match.dir/match/dist_test.cpp.o.d"
+  "CMakeFiles/test_match.dir/match/edge_cases_test.cpp.o"
+  "CMakeFiles/test_match.dir/match/edge_cases_test.cpp.o.d"
+  "CMakeFiles/test_match.dir/match/property_test.cpp.o"
+  "CMakeFiles/test_match.dir/match/property_test.cpp.o.d"
+  "CMakeFiles/test_match.dir/match/serial_test.cpp.o"
+  "CMakeFiles/test_match.dir/match/serial_test.cpp.o.d"
+  "test_match"
+  "test_match.pdb"
+  "test_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

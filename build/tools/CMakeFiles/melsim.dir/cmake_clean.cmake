@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melsim.dir/melsim.cpp.o"
+  "CMakeFiles/melsim.dir/melsim.cpp.o.d"
+  "melsim"
+  "melsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
