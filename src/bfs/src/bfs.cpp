@@ -172,11 +172,12 @@ BfsResult run_bfs(const Csr& g, int nranks, VertexId root, Model model,
   }
   const graph::DistGraph dg(g, nranks);
   sim::Simulator simulator(nranks);
+  simulator.set_horizon(cfg.watchdog_horizon);
   mpi::Machine machine(simulator, net::Network(nranks, cfg.net));
+  machine.set_audit(cfg.audit);
   for (Rank r = 0; r < nranks; ++r) {
     machine.set_topology(r, dg.local(r).neighbor_ranks);
   }
-  machine.validate_topology();
 
   std::vector<std::vector<std::int64_t>> dists(nranks);
   std::vector<std::int64_t> levels(nranks, 0);

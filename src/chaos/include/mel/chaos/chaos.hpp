@@ -1,0 +1,93 @@
+// Deterministic fault injection for the simulated MPI substrate.
+//
+// The chaos engine perturbs a run's *timing* without ever touching its
+// *semantics*: per-message latency jitter (which reorders messages exactly
+// as far as MPI allows — non-overtaking is preserved per (src, dst, tag)
+// channel by the Machine), straggler-rank compute slowdown, and bounded
+// skew added at collective entry. Every perturbation is a pure function of
+// the chaos seed and the operation's identity, so a chaotic run is itself
+// bit-reproducible: same seed, same schedule.
+//
+// The point (see EXPERIMENTS.md "Beyond the paper"): the paper's backend
+// rankings are bands, not knife edges, and the computed matching is the
+// unique locally-dominant fixed point under *any* MPI-legal schedule. The
+// chaos sweep tests assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mel/sim/time.hpp"
+
+namespace mel::chaos {
+
+using sim::Rank;
+using sim::Time;
+
+/// Knobs for one chaotic run. All default to "off"; a default Config is a
+/// no-op and the Machine skips the engine entirely.
+struct Config {
+  /// Seed for every deterministic draw the engine makes.
+  std::uint64_t seed = 1;
+
+  /// Max extra wire latency per message, as a fraction of the unperturbed
+  /// wire time (0.25 = up to +25%). Drawn per message; different messages
+  /// on one (src, dst) channel jitter independently, so messages with
+  /// different tags may overtake each other — the MPI-legal reordering.
+  double latency_jitter = 0.0;
+
+  /// Number of ranks (chosen deterministically from the seed) whose
+  /// explicitly charged compute runs `straggler_slowdown` times slower,
+  /// modelling a hot/throttled node.
+  int stragglers = 0;
+  double straggler_slowdown = 1.0;
+
+  /// Max extra delay charged when a rank enters a collective (neighbor,
+  /// global, or fence), in ns. Models OS noise at synchronization points.
+  Time collective_skew = 0;
+
+  bool enabled() const {
+    // Deliberately != rather than >: a negative knob is a config error, and
+    // treating it as "on" routes it into the Engine ctor, which rejects it
+    // with a named message instead of silently running unperturbed.
+    return latency_jitter != 0.0 || collective_skew != 0 ||
+           (stragglers != 0 && straggler_slowdown != 1.0);
+  }
+};
+
+/// Stateful but deterministic perturbation source. One per Machine.
+class Engine {
+ public:
+  Engine(const Config& config, int nranks);
+
+  const Config& config() const { return cfg_; }
+
+  /// Extra wire time for the next message on (src, dst, tag), given its
+  /// unperturbed wire time. Advances the per-channel message counter.
+  Time transfer_jitter(Rank src, Rank dst, int tag, Time wire);
+
+  /// Compute charge after straggler scaling (identity for healthy ranks).
+  Time perturb_compute(Rank rank, Time dt) const;
+
+  bool is_straggler(Rank rank) const {
+    return straggler_[static_cast<std::size_t>(rank)] != 0;
+  }
+
+  /// Bounded extra delay for rank's `seq`-th collective of kind `kind`
+  /// (an arbitrary small integer distinguishing neighbor/global/fence).
+  Time collective_skew(Rank rank, int kind, std::uint64_t seq) const;
+
+ private:
+  /// Uniform double in [0, 1) from a 64-bit hash input.
+  static double unit(std::uint64_t h);
+
+  Config cfg_;
+  int nranks_;
+  std::vector<char> straggler_;  // per rank
+  /// Per (src, dst, tag) message counters, so each message's jitter is a
+  /// stable function of its position in its channel.
+  std::unordered_map<std::uint64_t, std::uint64_t> channel_counts_;
+};
+
+}  // namespace mel::chaos

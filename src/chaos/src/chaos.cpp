@@ -1,0 +1,80 @@
+#include "mel/chaos/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mel/util/rng.hpp"
+
+namespace mel::chaos {
+
+namespace {
+
+/// Pack a (src, dst, tag) channel id into one map key. Ranks are bounded
+/// by the machine size and tags are small non-negative ints, so 21 bits
+/// each is far more than enough.
+std::uint64_t channel_key(Rank src, Rank dst, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 21) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) & 0x1fffff);
+}
+
+}  // namespace
+
+Engine::Engine(const Config& config, int nranks)
+    : cfg_(config), nranks_(nranks), straggler_(static_cast<std::size_t>(nranks), 0) {
+  if (nranks <= 0) throw std::invalid_argument("chaos::Engine: nranks must be > 0");
+  if (cfg_.latency_jitter < 0.0) {
+    throw std::invalid_argument("chaos: latency_jitter must be >= 0");
+  }
+  if (cfg_.stragglers < 0) {
+    throw std::invalid_argument("chaos: stragglers must be >= 0");
+  }
+  if (cfg_.straggler_slowdown <= 0.0) {
+    throw std::invalid_argument("chaos: straggler_slowdown must be > 0");
+  }
+  if (cfg_.collective_skew < 0) {
+    throw std::invalid_argument("chaos: collective_skew must be >= 0");
+  }
+  // Choose the straggler set deterministically: the `stragglers` ranks with
+  // the smallest seed-keyed hash. Every seed picks a different set.
+  const int k = std::min(cfg_.stragglers, nranks);
+  if (k > 0) {
+    std::vector<Rank> order(static_cast<std::size_t>(nranks));
+    for (Rank r = 0; r < nranks; ++r) order[static_cast<std::size_t>(r)] = r;
+    std::sort(order.begin(), order.end(), [this](Rank a, Rank b) {
+      const auto ha = util::hash_combine(cfg_.seed, static_cast<std::uint64_t>(a));
+      const auto hb = util::hash_combine(cfg_.seed, static_cast<std::uint64_t>(b));
+      return ha != hb ? ha < hb : a < b;
+    });
+    for (int i = 0; i < k; ++i) straggler_[static_cast<std::size_t>(order[i])] = 1;
+  }
+}
+
+double Engine::unit(std::uint64_t h) {
+  return static_cast<double>(util::hash64(h) >> 11) * 0x1.0p-53;
+}
+
+Time Engine::transfer_jitter(Rank src, Rank dst, int tag, Time wire) {
+  if (cfg_.latency_jitter <= 0.0) return 0;
+  const std::uint64_t key = channel_key(src, dst, tag);
+  const std::uint64_t n = channel_counts_[key]++;
+  const double u = unit(util::hash_combine(cfg_.seed ^ key, n));
+  return static_cast<Time>(static_cast<double>(wire) * cfg_.latency_jitter * u);
+}
+
+Time Engine::perturb_compute(Rank rank, Time dt) const {
+  if (!is_straggler(rank)) return dt;
+  return static_cast<Time>(
+      std::llround(static_cast<double>(dt) * cfg_.straggler_slowdown));
+}
+
+Time Engine::collective_skew(Rank rank, int kind, std::uint64_t seq) const {
+  if (cfg_.collective_skew <= 0) return 0;
+  const std::uint64_t h = util::hash_combine(
+      cfg_.seed ^ (static_cast<std::uint64_t>(kind) << 56),
+      util::hash_combine(static_cast<std::uint64_t>(rank), seq));
+  return static_cast<Time>(static_cast<double>(cfg_.collective_skew) * unit(h));
+}
+
+}  // namespace mel::chaos

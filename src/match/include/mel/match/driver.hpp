@@ -25,6 +25,13 @@ struct RunConfig {
   bool collect_matrix = false;
   /// Optional per-operation timeline sink (see perf::ChromeTracer).
   mpi::Tracer* tracer = nullptr;
+  /// Run the substrate invariant auditor at finalize and throw on any
+  /// violation (byte conservation, mailbox/window accounting; see
+  /// mpi::Machine::audit). Cheap — on by default.
+  bool audit = true;
+  /// Abort with a per-rank diagnostic (sim::WatchdogError) if virtual
+  /// time exceeds this horizon, in ns. 0 = unlimited.
+  sim::Time watchdog_horizon = 0;
 };
 
 struct RunResult {

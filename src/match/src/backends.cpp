@@ -115,6 +115,15 @@ sim::RankTask nsr_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
     if (!received_any) co_await comm.wait_message();
   }
 
+  // Exit hygiene: both endpoints of a cross edge can deactivate it
+  // independently, so a peer's REJECT/INVALID may already sit in our
+  // mailbox with nothing left to decide. Consume everything visible
+  // (handle() is a no-op on dead edges) instead of abandoning it.
+  while (auto env = comm.iprobe()) {
+    const mpi::Message m = co_await comm.recv(env->src, env->tag);
+    eng.handle(mpi::from_bytes<WireMsg>(m.data));
+  }
+
   copy_out_mates(eng, mate_out);
   if (iterations_out != nullptr) *iterations_out = processed;
   co_return;
@@ -171,6 +180,15 @@ sim::RankTask nsr_agg_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
     flush_staged();
     if (eng.active_cross() == 0) break;
     if (!received_any) co_await comm.wait_message();
+  }
+
+  // Exit hygiene: drain late crossing batches (see nsr_matcher).
+  while (auto env = comm.iprobe()) {
+    const mpi::Message m = co_await comm.recv(env->src, env->tag);
+    const std::size_t n = mpi::record_count<WireMsg>(m.data);
+    for (std::size_t i = 0; i < n; ++i) {
+      eng.handle(mpi::nth_record<WireMsg>(m.data, i));
+    }
   }
 
   copy_out_mates(eng, mate_out);

@@ -11,13 +11,15 @@ RunResult run_match(const graph::DistGraph& dg, Model model,
                     const RunConfig& cfg) {
   const int p = dg.nranks();
   sim::Simulator simulator(p);
+  simulator.set_horizon(cfg.watchdog_horizon);
   mpi::Machine machine(simulator, net::Network(p, cfg.net));
+  machine.set_audit(cfg.audit);
 
-  // Distributed-graph process topology from the ghost structure.
+  // Distributed-graph process topology from the ghost structure; the
+  // machine validates symmetry before the first neighborhood collective.
   for (Rank r = 0; r < p; ++r) {
     machine.set_topology(r, dg.local(r).neighbor_ranks);
   }
-  machine.validate_topology();
   if (cfg.tracer != nullptr) machine.set_tracer(cfg.tracer);
 
   // RMA window allocation (host side, like MPI_Win_allocate at startup).
@@ -73,6 +75,7 @@ RunResult run_match(const graph::DistGraph& dg, Model model,
   }
 
   simulator.run();
+  machine.audit_or_throw();
 
   RunResult result;
   result.model = model;

@@ -97,7 +97,11 @@ void LocalMatcher::find_mate(VertexId x) {
     candidate = e.to;
     break;
   }
-  comm_.compute_edges(c - scan_start + 1);
+  // Charge exactly the adjacency entries the scan inspected: every slot
+  // skipped over plus the one it stopped at (none if the row was empty or
+  // the cursor had already drained it).
+  const EdgeId inspected = (c - scan_start) + (c < row_end ? 1 : 0);
+  if (inspected > 0) comm_.compute_edges(inspected);
   cand_[lx] = candidate;
 
   if (candidate == kNullVertex) {

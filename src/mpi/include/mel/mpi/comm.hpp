@@ -389,11 +389,11 @@ class Comm {
   Window window(int id) { return Window(&m_, id, rank_); }
 
   // -- Local work model ----------------------------------------------------
-  /// Charge `ns` of local computation to this rank's clock.
+  /// Charge `ns` of local computation to this rank's clock (scaled up by
+  /// the chaos engine if this rank is a straggler).
   void compute(Time ns) {
     const Time start = m_.simulator().rank_now(rank_);
-    m_.simulator().charge(rank_, ns);
-    m_.add_compute_time(rank_, ns);
+    m_.charge_compute(rank_, ns);
     m_.trace_op(rank_, "compute", start);
   }
   void compute_edges(std::int64_t n) {

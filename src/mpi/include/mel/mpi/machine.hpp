@@ -12,8 +12,10 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "mel/chaos/chaos.hpp"
 #include "mel/mpi/counters.hpp"
 #include "mel/mpi/message.hpp"
 #include "mel/net/network.hpp"
@@ -53,11 +55,14 @@ class Machine {
 
   /// Define the distributed-graph process topology for one rank
   /// (MPI_Dist_graph_create_adjacent). Must be set before neighborhood
-  /// collectives run, and must be symmetric across ranks.
+  /// collectives run, and must be symmetric across ranks; symmetry is
+  /// checked automatically before the first neighborhood collective.
   void set_topology(Rank rank, std::vector<Rank> neighbors);
   const std::vector<Rank>& topology(Rank rank) const;
 
   /// Validate topology symmetry (throws std::logic_error on violation).
+  /// Called lazily by the first neighborhood collective after any
+  /// set_topology; callers may still invoke it eagerly to fail early.
   void validate_topology() const;
 
   /// Allocate an RMA window with the given per-rank sizes in bytes.
@@ -89,6 +94,39 @@ class Machine {
   std::uint64_t peak_inflight_sends(Rank rank) const {
     return peak_inflight_sends_[rank];
   }
+
+  // -- Invariant auditor ----------------------------------------------------
+
+  /// Enable/disable the substrate invariant audits (on by default; the
+  /// checks run at finalize and cost nothing per operation).
+  void set_audit(bool enabled) { audit_enabled_ = enabled; }
+  bool audit_enabled() const { return audit_enabled_; }
+
+  /// Run the finalize-time conservation and accounting audits and return
+  /// every violation found (empty = substrate state is consistent):
+  /// p2p payload bytes sent == delivered, no in-flight sends, mailbox
+  /// byte/message accounting back to zero with no parked waiters, every
+  /// scheduled put landed, and window memory consistent with
+  /// account_buffer(). Returns {} without checking when audits are off.
+  std::vector<std::string> audit() const;
+
+  /// audit() and throw std::logic_error listing the violations, if any.
+  void audit_or_throw() const;
+
+  // -- Stall diagnostics ----------------------------------------------------
+
+  /// One-line description of a rank's substrate state for the progress
+  /// watchdog: the parked operation (kind, source/tag or sequence number),
+  /// mailbox depth and bytes, in-flight sends, and collective sequence
+  /// numbers. Installed into the Simulator as its stall reporter.
+  std::string rank_diagnostics(Rank rank) const;
+
+  /// The fault-injection engine, if the network params enabled one.
+  const chaos::Engine* chaos_engine() const { return chaos_.get(); }
+
+  /// Charge `ns` of explicitly modelled local computation to the rank,
+  /// after any chaos straggler scaling. Returns the charged amount.
+  Time charge_compute(Rank rank, Time ns);
 
   // -- Internal API used by Comm and its awaiters ---------------------------
   // (Conceptually private; public so the awaiter types stay simple.)
@@ -188,6 +226,7 @@ class Machine {
 
  private:
   void enqueue_accounting(Rank dst, std::size_t bytes);
+  void ensure_topology_validated();
 
   struct Mailbox;
   struct WindowState;
@@ -199,10 +238,12 @@ class Machine {
 
   sim::Simulator& sim_;
   net::Network net_;
+  std::unique_ptr<chaos::Engine> chaos_;  // null when fault injection is off
 
   std::vector<std::unique_ptr<Comm>> comms_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::vector<Rank>> topology_;
+  bool topology_validated_ = true;  // cleared by set_topology
 
   std::vector<std::unique_ptr<WindowState>> windows_;
   std::unique_ptr<NeighborState> neighbor_;
@@ -212,13 +253,30 @@ class Machine {
   std::vector<CommCounters> counters_;
   CommMatrix matrix_;
   std::vector<Time> last_arrival_;  // per (src,dst), non-overtaking floor
+  /// Per (src,dst,tag) floors used instead of last_arrival_ under chaos
+  /// jitter: ordering is preserved within a tag channel while messages
+  /// with different tags may legally overtake each other.
+  std::map<std::uint64_t, Time> last_arrival_tagged_;
   std::vector<std::size_t> buffer_bytes_;
+  std::vector<std::size_t> window_bytes_;  // subset of buffer_bytes_
   std::vector<std::size_t> mailbox_bytes_;
   std::vector<std::size_t> peak_mailbox_bytes_;
   std::vector<std::uint64_t> mailbox_msgs_;
   std::vector<std::uint64_t> peak_mailbox_msgs_;
   std::vector<std::uint64_t> inflight_sends_;
   std::vector<std::uint64_t> peak_inflight_sends_;
+  /// Messages delivered after the recipient coroutine already returned
+  /// (e.g. crossing REJECTs in the send-recv protocols). Unconsumable by
+  /// construction; the auditor tolerates exactly these and nothing more.
+  std::vector<std::uint64_t> dead_letter_msgs_;
+  std::vector<std::size_t> dead_letter_bytes_;
+
+  bool audit_enabled_ = true;
+  bool accounting_reset_ = false;  // relaxes window-vs-buffer audit
+  std::uint64_t sent_payload_bytes_ = 0;
+  std::uint64_t delivered_payload_bytes_ = 0;
+  std::uint64_t puts_scheduled_ = 0;
+  std::uint64_t puts_landed_ = 0;
 };
 
 }  // namespace mel::mpi

@@ -126,16 +126,22 @@ Machine::Machine(sim::Simulator& simulator, net::Network network)
       matrix_(net_.nranks()),
       last_arrival_(static_cast<std::size_t>(net_.nranks()) * net_.nranks(), 0),
       buffer_bytes_(net_.nranks(), 0),
+      window_bytes_(net_.nranks(), 0),
       mailbox_bytes_(net_.nranks(), 0),
       peak_mailbox_bytes_(net_.nranks(), 0),
       mailbox_msgs_(net_.nranks(), 0),
       peak_mailbox_msgs_(net_.nranks(), 0),
       inflight_sends_(net_.nranks(), 0),
-      peak_inflight_sends_(net_.nranks(), 0) {
+      peak_inflight_sends_(net_.nranks(), 0),
+      dead_letter_msgs_(net_.nranks(), 0),
+      dead_letter_bytes_(net_.nranks(), 0) {
   if (net_.nranks() != sim_.nranks()) {
     throw std::invalid_argument("Machine: simulator/network rank mismatch");
   }
   const int p = net_.nranks();
+  if (net_.params().chaos.enabled()) {
+    chaos_ = std::make_unique<chaos::Engine>(net_.params().chaos, p);
+  }
   comms_.reserve(p);
   mailboxes_.reserve(p);
   for (Rank r = 0; r < p; ++r) {
@@ -148,19 +154,31 @@ Machine::Machine(sim::Simulator& simulator, net::Network network)
   neighbor_->pending.resize(p);
   global_ = std::make_unique<GlobalCollState>();
   global_->next_seq.assign(p, 0);
+  sim_.set_stall_reporter([this](Rank r) { return rank_diagnostics(r); });
 }
 
-Machine::~Machine() = default;
+Machine::~Machine() { sim_.set_stall_reporter(nullptr); }
 
 Comm& Machine::comm(Rank rank) { return *comms_.at(rank); }
 
 void Machine::set_topology(Rank rank, std::vector<Rank> neighbors) {
   for (Rank n : neighbors) {
-    if (n < 0 || n >= nranks() || n == rank) {
-      throw std::invalid_argument("set_topology: invalid neighbor rank");
+    if (n < 0 || n >= nranks()) {
+      std::ostringstream os;
+      os << "set_topology: rank " << rank << " lists neighbor " << n
+         << ", outside the valid range [0, " << nranks() << ")";
+      throw std::invalid_argument(os.str());
+    }
+    if (n == rank) {
+      std::ostringstream os;
+      os << "set_topology: rank " << rank
+         << " lists itself as a neighbor (self-loops are not a valid "
+            "dist-graph edge)";
+      throw std::invalid_argument(os.str());
     }
   }
   topology_.at(rank) = std::move(neighbors);
+  topology_validated_ = false;
 }
 
 const std::vector<Rank>& Machine::topology(Rank rank) const {
@@ -173,16 +191,27 @@ void Machine::validate_topology() const {
       const auto& back = topology_[n];
       if (std::find(back.begin(), back.end(), r) == back.end()) {
         std::ostringstream os;
-        os << "asymmetric process topology: " << r << " -> " << n
-           << " has no reverse edge";
+        os << "asymmetric process topology: rank " << r << " lists " << n
+           << " as a neighbor, but rank " << n << " ("
+           << back.size() << " neighbor(s)) has no reverse edge to " << r;
         throw std::logic_error(os.str());
       }
     }
     std::set<Rank> uniq(topology_[r].begin(), topology_[r].end());
     if (uniq.size() != topology_[r].size()) {
-      throw std::logic_error("duplicate neighbor in process topology");
+      std::ostringstream os;
+      os << "duplicate neighbor in process topology: rank " << r << " lists "
+         << topology_[r].size() << " neighbors but only " << uniq.size()
+         << " are distinct";
+      throw std::logic_error(os.str());
     }
   }
+}
+
+void Machine::ensure_topology_validated() {
+  if (topology_validated_) return;
+  validate_topology();
+  topology_validated_ = true;
 }
 
 int Machine::allocate_window(const std::vector<std::size_t>& bytes_per_rank) {
@@ -196,6 +225,7 @@ int Machine::allocate_window(const std::vector<std::size_t>& bytes_per_rank) {
   for (Rank r = 0; r < nranks(); ++r) {
     ws->mem[r].assign(bytes_per_rank[r], std::byte{0});
     account_buffer(r, bytes_per_rank[r]);
+    window_bytes_[r] += bytes_per_rank[r];
   }
   windows_.push_back(std::move(ws));
   return static_cast<int>(windows_.size()) - 1;
@@ -211,7 +241,17 @@ void Machine::reset_accounting() {
   for (auto& c : counters_) c = CommCounters{};
   matrix_ = CommMatrix(nranks());
   std::fill(buffer_bytes_.begin(), buffer_bytes_.end(), 0);
-  std::fill(peak_mailbox_bytes_.begin(), peak_mailbox_bytes_.end(), 0);
+  // Restart every peak from the *current* occupancy, not zero: resetting
+  // mid-run with queued messages or in-flight sends must not report a
+  // final peak below what is provably still resident. (The seed reset
+  // peak_mailbox_bytes_ only, leaving msg and in-flight peaks spanning
+  // the discarded phase.)
+  for (Rank r = 0; r < nranks(); ++r) {
+    peak_mailbox_bytes_[r] = mailbox_bytes_[r];
+    peak_mailbox_msgs_[r] = mailbox_msgs_[r];
+    peak_inflight_sends_[r] = inflight_sends_[r];
+  }
+  accounting_reset_ = true;
 }
 
 void Machine::account_buffer(Rank rank, std::size_t bytes) {
@@ -237,14 +277,30 @@ void Machine::isend(Rank src, Rank dst, int tag,
   trace_op(src, "isend", isend_start);
   matrix_.record(src, dst, data.size() + kHeaderBytes);
 
-  const Time wire = net_.transfer_time(src, dst, data.size() + kHeaderBytes);
+  Time wire = net_.transfer_time(src, dst, data.size() + kHeaderBytes);
+  if (chaos_) wire += chaos_->transfer_jitter(src, dst, tag, wire);
   Time arrival = sim_.rank_now(src) + wire;
-  // MPI non-overtaking: messages on the same (src, dst) channel are
-  // delivered in send order regardless of size.
-  Time& floor = last_arrival_[static_cast<std::size_t>(src) * nranks() + dst];
-  arrival = std::max(arrival, floor + 1);
-  floor = arrival;
+  if (chaos_ && net_.params().chaos.latency_jitter > 0.0) {
+    // Under jitter, enforce non-overtaking per (src, dst, tag) channel:
+    // same-tag messages keep their send order, while messages with
+    // different tags may overtake — the MPI-legal reordering the chaos
+    // sweep exercises.
+    Time& floor =
+        last_arrival_tagged_[(static_cast<std::uint64_t>(
+                                 static_cast<std::size_t>(src) * nranks() + dst)
+                             << 21) |
+                            (static_cast<std::uint64_t>(tag) & 0x1fffff)];
+    arrival = std::max(arrival, floor + 1);
+    floor = arrival;
+  } else {
+    // MPI non-overtaking: messages on the same (src, dst) channel are
+    // delivered in send order regardless of size.
+    Time& floor = last_arrival_[static_cast<std::size_t>(src) * nranks() + dst];
+    arrival = std::max(arrival, floor + 1);
+    floor = arrival;
+  }
 
+  sent_payload_bytes_ += data.size();
   Message msg;
   msg.src = src;
   msg.dst = dst;
@@ -270,6 +326,14 @@ bool matches(const Message& m, Rank src, int tag) {
 void Machine::deliver(Message msg) {
   auto& box = *mailboxes_[msg.dst];
   const Rank dst = msg.dst;
+  delivered_payload_bytes_ += msg.data.size();
+  if (sim_.rank_done(dst)) {
+    // The recipient already returned: nothing can consume this message.
+    // Track it so the finalize audit can tell unavoidable late traffic
+    // from messages a backend abandoned while it could still read them.
+    dead_letter_msgs_[dst] += 1;
+    dead_letter_bytes_[dst] += msg.data.size();
+  }
   // Try to satisfy a parked waiter first (in park order).
   for (auto it = box.waiters.begin(); it != box.waiters.end(); ++it) {
     RecvTicket* t = *it;
@@ -377,11 +441,13 @@ void Machine::put(int win, Rank origin, Rank target, std::size_t offset,
       sim_.rank_now(origin) +
       net_.transfer_time(origin, target, data.size() + kHeaderBytes);
   ws.last_completion[origin] = std::max(ws.last_completion[origin], completion);
+  puts_scheduled_ += 1;
   std::vector<std::byte> payload(data.begin(), data.end());
   sim_.schedule(completion,
-                [&ws, target, offset, payload = std::move(payload)] {
+                [this, &ws, target, offset, payload = std::move(payload)] {
                   std::memcpy(ws.mem[target].data() + offset, payload.data(),
                               payload.size());
+                  puts_landed_ += 1;
                 });
 }
 
@@ -402,6 +468,7 @@ void Machine::fence_arrive(int win, Rank rank, sim::Simulator::Parked parked) {
   counters_[rank].fences += 1;
 
   const std::uint64_t seq = ws.fence_seq[rank]++;
+  if (chaos_) sim_.charge(rank, chaos_->collective_skew(rank, 2, seq));
   auto& inst = ws.fences[seq];
   inst.arrived += 1;
   inst.max_arrive = std::max(inst.max_arrive, sim_.rank_now(rank));
@@ -432,14 +499,20 @@ std::size_t Machine::window_size(int win, Rank rank) const {
 void Machine::neighbor_begin(Rank rank,
                              std::vector<std::vector<std::byte>> slices,
                              std::vector<std::vector<std::byte>>* recv_out) {
+  ensure_topology_validated();
   auto& st = *neighbor_;
   const auto& topo = topology_[rank];
   if (slices.size() != topo.size()) {
-    throw std::invalid_argument(
-        "neighbor collective: one slice per topology neighbor required");
+    std::ostringstream os;
+    os << "neighbor collective: rank " << rank << " passed " << slices.size()
+       << " slice(s) but its topology has " << topo.size() << " neighbor(s)";
+    throw std::invalid_argument(os.str());
   }
   const Time entry = net_.collective_entry(static_cast<int>(topo.size()));
   sim_.charge(rank, entry);
+  if (chaos_) {
+    sim_.charge(rank, chaos_->collective_skew(rank, 0, st.next_seq[rank]));
+  }
 
   std::size_t total_bytes = 0;
   for (std::size_t i = 0; i < topo.size(); ++i) {
@@ -568,6 +641,9 @@ void Machine::global_arrive(Rank rank, std::vector<std::int64_t> contribution,
   auto& st = *global_;
   const auto& p = net_.params();
   sim_.charge(rank, p.o_coll_base);
+  if (chaos_) {
+    sim_.charge(rank, chaos_->collective_skew(rank, 1, st.next_seq[rank]));
+  }
   auto& c = counters_[rank];
   if (result_out != nullptr) {
     c.allreduces += 1;
@@ -612,6 +688,189 @@ void Machine::global_arrive(Rank rank, std::vector<std::int64_t> contribution,
     }
     st.insts.erase(seq);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Compute charging (chaos straggler hook)
+// ---------------------------------------------------------------------------
+
+Time Machine::charge_compute(Rank rank, Time ns) {
+  if (chaos_) ns = chaos_->perturb_compute(rank, ns);
+  sim_.charge(rank, ns);
+  counters_[rank].compute_ns += ns;
+  return ns;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant auditor
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Machine::audit() const {
+  std::vector<std::string> violations;
+  if (!audit_enabled_) return violations;
+  auto violate = [&violations](std::string text) {
+    violations.push_back(std::move(text));
+  };
+
+  // Conservation: every payload byte posted by an isend was handed to a
+  // mailbox or a parked receiver, and no send is still in flight.
+  if (sent_payload_bytes_ != delivered_payload_bytes_) {
+    std::ostringstream os;
+    os << "p2p byte conservation: " << sent_payload_bytes_
+       << " payload bytes sent but " << delivered_payload_bytes_
+       << " delivered";
+    violate(os.str());
+  }
+  if (puts_scheduled_ != puts_landed_) {
+    std::ostringstream os;
+    os << "RMA put conservation: " << puts_scheduled_
+       << " puts scheduled but " << puts_landed_ << " landed";
+    violate(os.str());
+  }
+  if (!accounting_reset_) {
+    std::uint64_t counted = 0;
+    for (const auto& c : counters_) counted += c.bytes_sent;
+    if (counted != sent_payload_bytes_) {
+      std::ostringstream os;
+      os << "counter consistency: per-rank bytes_sent sums to " << counted
+         << " but the machine posted " << sent_payload_bytes_;
+      violate(os.str());
+    }
+  }
+
+  for (Rank r = 0; r < nranks(); ++r) {
+    const auto& box = *mailboxes_[r];
+    // Mailbox accounting must mirror the actual queue contents at all
+    // times; at finalize both must be zero (every message consumed).
+    std::size_t queued_bytes = 0;
+    for (const Message& m : box.arrived) queued_bytes += m.data.size();
+    if (queued_bytes != mailbox_bytes_[r] ||
+        box.arrived.size() != mailbox_msgs_[r]) {
+      std::ostringstream os;
+      os << "mailbox accounting drift on rank " << r << ": counted "
+         << mailbox_msgs_[r] << " msgs/" << mailbox_bytes_[r]
+         << " B but the queue holds " << box.arrived.size() << " msgs/"
+         << queued_bytes << " B";
+      violate(os.str());
+    }
+    // Residual messages are tolerated only as dead letters: traffic
+    // delivered after the rank's coroutine already returned (crossing
+    // REJECTs in the send-recv protocols) that nothing could consume.
+    // Any residue beyond that was readable while the rank still ran and
+    // means a backend abandoned its mailbox.
+    if (box.arrived.size() != dead_letter_msgs_[r] ||
+        queued_bytes != dead_letter_bytes_[r]) {
+      std::ostringstream os;
+      os << "rank " << r << " finalized abandoning "
+         << (box.arrived.size() - std::min<std::size_t>(
+                                      box.arrived.size(), dead_letter_msgs_[r]))
+         << " readable message(s) in its mailbox (" << box.arrived.size()
+         << " msgs/" << queued_bytes << " B queued, of which "
+         << dead_letter_msgs_[r] << " msgs/" << dead_letter_bytes_[r]
+         << " B arrived after it returned; first queued: src="
+         << box.arrived.front().src << " tag=" << box.arrived.front().tag
+         << " " << box.arrived.front().data.size() << " B)";
+      violate(os.str());
+    }
+    if (!box.waiters.empty()) {
+      std::ostringstream os;
+      os << "rank " << r << " finalized with " << box.waiters.size()
+         << " parked receive ticket(s) never fired or cancelled";
+      violate(os.str());
+    }
+    if (inflight_sends_[r] != 0) {
+      std::ostringstream os;
+      os << "rank " << r << " finalized with " << inflight_sends_[r]
+         << " send(s) still in flight";
+      violate(os.str());
+    }
+    // Window memory must stay consistent with what account_buffer was
+    // told (unless accounting was deliberately reset mid-run).
+    std::size_t window_mem = 0;
+    for (const auto& ws : windows_) window_mem += ws->mem[r].size();
+    if (window_mem != window_bytes_[r]) {
+      std::ostringstream os;
+      os << "window accounting drift on rank " << r << ": windows hold "
+         << window_mem << " B but " << window_bytes_[r] << " B were recorded";
+      violate(os.str());
+    }
+    if (!accounting_reset_ && window_bytes_[r] > buffer_bytes_[r]) {
+      std::ostringstream os;
+      os << "buffer accounting on rank " << r << ": " << window_bytes_[r]
+         << " B of window memory exceed the " << buffer_bytes_[r]
+         << " B registered via account_buffer";
+      violate(os.str());
+    }
+  }
+  return violations;
+}
+
+void Machine::audit_or_throw() const {
+  const auto violations = audit();
+  if (violations.empty()) return;
+  std::ostringstream os;
+  os << "substrate invariant audit failed (" << violations.size()
+     << " violation(s)):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  throw std::logic_error(os.str());
+}
+
+// ---------------------------------------------------------------------------
+// Stall diagnostics (consulted by the simulator's progress watchdog)
+// ---------------------------------------------------------------------------
+
+std::string Machine::rank_diagnostics(Rank rank) const {
+  std::ostringstream os;
+  const auto& box = *mailboxes_[rank];
+  bool parked = false;
+  for (const RecvTicket* t : box.waiters) {
+    parked = true;
+    os << "parked=" << (t->peek_only ? "wait_message(" : "recv(") << "src=";
+    if (t->src == kAnySource) {
+      os << '*';
+    } else {
+      os << t->src;
+    }
+    os << " tag=";
+    if (t->tag == kAnyTag) {
+      os << '*';
+    } else {
+      os << t->tag;
+    }
+    os << " since=" << t->parked_clock << "ns) ";
+  }
+  const auto& pend = neighbor_->pending[rank];
+  if (pend.active) {
+    parked = true;
+    os << "parked=neighbor_coll(seq=" << pend.seq << " waiting_on="
+       << pend.waiting_on << " neighbor(s)"
+       << (pend.has_waiter ? "" : " split-phase, no waiter yet") << ") ";
+  }
+  for (const auto& [seq, inst] : global_->insts) {
+    for (const auto& w : inst.waiters) {
+      if (w.rank != rank) continue;
+      parked = true;
+      os << "parked=" << (w.out != nullptr ? "allreduce" : "barrier")
+         << "(seq=" << seq << " arrived=" << inst.arrived << '/' << nranks()
+         << ") ";
+    }
+  }
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    for (const auto& [seq, inst] : windows_[w]->fences) {
+      for (const auto& parked_rank : inst.waiters) {
+        if (parked_rank.rank != rank) continue;
+        parked = true;
+        os << "parked=fence(win=" << w << " seq=" << seq << " arrived="
+           << inst.arrived << '/' << nranks() << ") ";
+      }
+    }
+  }
+  if (!parked) os << "parked=none ";
+  os << "mailbox=" << box.arrived.size() << "msgs/" << mailbox_bytes_[rank]
+     << "B inflight_sends=" << inflight_sends_[rank]
+     << " next_nbr_seq=" << neighbor_->next_seq[rank]
+     << " next_coll_seq=" << global_->next_seq[rank];
+  return os.str();
 }
 
 }  // namespace mel::mpi

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "mel/chaos/chaos.hpp"
 #include "mel/sim/time.hpp"
 
 namespace mel::net {
@@ -72,6 +73,10 @@ struct Params {
   Time copy_per_byte = 0;        // staging copy cost, ns/byte (ns resolution:
                                  // use copy_per_kib for sub-ns rates)
   Time copy_per_kib = 300;       // staging copy cost per KiB (≈3.4 GB/s memcpy)
+
+  /// Deterministic fault injection (latency jitter, stragglers, collective
+  /// skew); off by default. See mel/chaos/chaos.hpp.
+  chaos::Config chaos{};
 };
 
 /// Maps ranks to nodes and prices individual transfers. Stateless aside

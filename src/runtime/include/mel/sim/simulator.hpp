@@ -6,8 +6,12 @@
 // calling charge(). Blocking operations suspend the coroutine and register
 // a wake-up; the simulator's global event queue interleaves ranks in
 // deterministic (time, sequence) order. When the event queue drains while
-// ranks are still suspended, the run has deadlocked and run() throws with
-// a diagnostic listing the stuck ranks.
+// ranks are still suspended, the run has deadlocked and run() throws a
+// DeadlockError carrying a per-rank progress report; when virtual time
+// exceeds a configured horizon, run() throws a WatchdogError with the same
+// report instead of spinning forever. Subsystems that park coroutines (the
+// MPI Machine) can install a stall reporter to enrich the report with the
+// parked operation's identity (op kind, mailbox depth, sequence numbers).
 #pragma once
 
 #include <coroutine>
@@ -28,6 +32,13 @@ namespace mel::sim {
 class DeadlockError : public std::runtime_error {
  public:
   explicit DeadlockError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Thrown by Simulator::run() when the next event lies beyond the
+/// configured virtual-time horizon (a livelock / runaway-run guard).
+class WatchdogError : public std::runtime_error {
+ public:
+  explicit WatchdogError(std::string what) : std::runtime_error(std::move(what)) {}
 };
 
 class Simulator {
@@ -55,8 +66,16 @@ class Simulator {
 
   /// Advance a rank's local clock by dt (models local computation or
   /// per-call software overhead). Must only be called while that rank's
-  /// coroutine is the one logically executing.
-  void charge(Rank rank, Time dt) { ranks_[rank].clock += dt; }
+  /// coroutine is the one logically executing. Negative charges would
+  /// silently break clock monotonicity (the invariant every completion
+  /// time in the machine rests on), so they are rejected outright.
+  void charge(Rank rank, Time dt) {
+    if (dt < 0) {
+      throw std::logic_error("Simulator::charge: negative dt on rank " +
+                             std::to_string(rank));
+    }
+    ranks_[rank].clock += dt;
+  }
 
   /// Schedule a raw event at absolute virtual time t. Events at equal time
   /// run in scheduling order.
@@ -86,6 +105,28 @@ class Simulator {
   /// Sum of final local clocks; the simulated "job time" is the max.
   Time max_rank_time() const;
 
+  // -- Progress watchdog ----------------------------------------------------
+
+  /// Abort the run (WatchdogError) if the next event's virtual time
+  /// exceeds `t`. 0 disables the horizon (the default).
+  void set_horizon(Time t) { horizon_ = t; }
+  Time horizon() const { return horizon_; }
+
+  /// Install a per-rank diagnostics callback consulted when building a
+  /// stall report (deadlock or horizon breach). The MPI Machine installs
+  /// one describing the parked operation; pass nullptr to clear.
+  using StallReporter = std::function<std::string(Rank)>;
+  void set_stall_reporter(StallReporter reporter) {
+    reporter_ = std::move(reporter);
+  }
+
+  /// Virtual time at which the rank's coroutine last resumed (or started).
+  Time last_resume(Rank rank) const { return ranks_[rank].last_resume; }
+
+  /// Human-readable per-rank progress dump for every unfinished rank:
+  /// clock, last resume time, and the stall reporter's diagnostics.
+  std::string progress_report() const;
+
  private:
   /// Record a pending exception thrown by a rank coroutine, if any.
   void note_rank_error(Rank rank);
@@ -102,6 +143,7 @@ class Simulator {
   struct RankState {
     RankTask task;
     Time clock = 0;
+    Time last_resume = 0;
     bool done = false;
     bool started = false;
   };
@@ -110,6 +152,8 @@ class Simulator {
   std::exception_ptr error_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   Time now_ = 0;
+  Time horizon_ = 0;
+  StallReporter reporter_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
 };

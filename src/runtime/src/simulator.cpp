@@ -33,6 +33,7 @@ void Simulator::spawn(Rank rank, RankTask task) {
     auto& st = ranks_[rank];
     st.started = true;
     st.clock = std::max<Time>(st.clock, 0);
+    st.last_resume = 0;
     st.task.handle().resume();
     note_rank_error(rank);
   });
@@ -46,6 +47,7 @@ void Simulator::wake(const Parked& parked, Time t) {
   schedule(t, [this, parked, t] {
     auto& st = ranks_[parked.rank];
     st.clock = std::max(st.clock, t);
+    st.last_resume = t;
     parked.handle.resume();
     note_rank_error(parked.rank);
   });
@@ -64,6 +66,13 @@ void Simulator::run() {
     // priority_queue::top returns const&; the event is move-only in spirit,
     // so copy out the pieces before popping.
     const Event& top = queue_.top();
+    if (horizon_ > 0 && top.t > horizon_) {
+      std::ostringstream os;
+      os << "watchdog: next event at t=" << top.t
+         << "ns exceeds the virtual-time horizon of " << horizon_ << "ns\n"
+         << progress_report();
+      throw WatchdogError(os.str());
+    }
     now_ = std::max(now_, top.t);
     auto fn = std::move(const_cast<Event&>(top).fn);
     queue_.pop();
@@ -73,20 +82,40 @@ void Simulator::run() {
     // rank coroutine surfaces at the right virtual time.
     if (error_) std::rethrow_exception(error_);
   }
-  std::vector<Rank> stuck;
+  int stuck = 0;
   for (Rank r = 0; r < nranks(); ++r) {
-    if (ranks_[r].task.valid() && !ranks_[r].done) stuck.push_back(r);
+    if (ranks_[r].task.valid() && !ranks_[r].done) ++stuck;
   }
-  if (!stuck.empty()) {
+  if (stuck > 0) {
     std::ostringstream os;
-    os << "simulation deadlock at t=" << now_ << "ns; " << stuck.size()
-       << " rank(s) stuck:";
-    for (std::size_t i = 0; i < stuck.size() && i < 16; ++i) {
-      os << ' ' << stuck[i] << "(clock=" << ranks_[stuck[i]].clock << ")";
-    }
-    if (stuck.size() > 16) os << " ...";
+    os << "simulation deadlock at t=" << now_
+       << "ns: event queue drained with " << stuck << " rank(s) stuck\n"
+       << progress_report();
     throw DeadlockError(os.str());
   }
+}
+
+std::string Simulator::progress_report() const {
+  std::ostringstream os;
+  int reported = 0;
+  for (Rank r = 0; r < nranks(); ++r) {
+    const auto& st = ranks_[r];
+    if (st.done) continue;
+    if (++reported > 64) {
+      os << "  ... (" << nranks() << " ranks total)\n";
+      break;
+    }
+    os << "  rank " << r << ": clock=" << st.clock << "ns last_resume="
+       << st.last_resume << "ns";
+    if (!st.task.valid()) {
+      os << " never_spawned";
+    } else if (!st.started) {
+      os << " never_started";
+    }
+    if (reporter_) os << ' ' << reporter_(r);
+    os << '\n';
+  }
+  return os.str();
 }
 
 Time Simulator::max_rank_time() const {

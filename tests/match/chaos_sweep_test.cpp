@@ -1,0 +1,100 @@
+// The ISSUE's headline property: the half-approx matching is the unique
+// locally-dominant fixed point, so *any* MPI-legal schedule — including
+// ones perturbed by latency jitter, stragglers, and collective skew —
+// must produce the identical matched weight, pass the verifier, and leave
+// the substrate auditor with zero violations (run_match audits at
+// finalize and would throw).
+#include <gtest/gtest.h>
+
+#include "mel/gen/generators.hpp"
+#include "mel/match/driver.hpp"
+#include "mel/match/verify.hpp"
+
+namespace mel::match {
+namespace {
+
+chaos::Config noisy(std::uint64_t seed) {
+  chaos::Config c;
+  c.seed = seed;
+  c.latency_jitter = 0.4;
+  c.stragglers = 2;
+  c.straggler_slowdown = 2.5;
+  c.collective_skew = 400;
+  return c;
+}
+
+struct Workload {
+  const char* name;
+  graph::Csr g;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> w;
+  w.push_back({"erdos_renyi", gen::erdos_renyi(500, 3000, 11)});
+  w.push_back({"rmat", gen::rmat(9, 8, 5)});
+  return w;
+}
+
+TEST(ChaosSweep, MatchedWeightInvariantAcrossSeedsBackendsGenerators) {
+  constexpr int kRanks = 8;
+  for (const Workload& wl : workloads()) {
+    const auto baseline = run_match(wl.g, kRanks, Model::kNcl);
+    ASSERT_TRUE(is_valid_matching(wl.g, baseline.matching.mate)) << wl.name;
+    for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+      for (const Model m :
+           {Model::kNsr, Model::kRma, Model::kNcl, Model::kMbp}) {
+        RunConfig cfg;
+        cfg.net.chaos = noisy(seed);
+        // run_match runs the invariant auditor at finalize (cfg.audit
+        // defaults to true) and throws on any violation.
+        const auto run = run_match(wl.g, kRanks, m, cfg);
+        EXPECT_TRUE(is_valid_matching(wl.g, run.matching.mate))
+            << wl.name << " " << model_name(m) << " seed=" << seed;
+        EXPECT_DOUBLE_EQ(run.matching.weight, baseline.matching.weight)
+            << wl.name << " " << model_name(m) << " seed=" << seed;
+        EXPECT_EQ(run.matching.cardinality, baseline.matching.cardinality)
+            << wl.name << " " << model_name(m) << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ChaosSweep, ChaoticRunsAreReproducible) {
+  // Same chaos seed -> bit-identical schedule, hence identical simulated
+  // time and message counts; a different seed perturbs the timing.
+  const auto g = gen::erdos_renyi(400, 2400, 13);
+  RunConfig cfg;
+  cfg.net.chaos = noisy(77);
+  const auto a = run_match(g, 8, Model::kNsr, cfg);
+  const auto b = run_match(g, 8, Model::kNsr, cfg);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.totals.isends, b.totals.isends);
+  EXPECT_EQ(a.matching.mate, b.matching.mate);
+
+  RunConfig other;
+  other.net.chaos = noisy(78);
+  const auto c = run_match(g, 8, Model::kNsr, other);
+  EXPECT_NE(a.time, c.time);
+  EXPECT_EQ(a.matching.mate, c.matching.mate);  // semantics untouched
+}
+
+TEST(ChaosSweep, StragglersStretchSimulatedTime) {
+  const auto g = gen::erdos_renyi(400, 2400, 13);
+  const auto clean = run_match(g, 8, Model::kNcl);
+  RunConfig cfg;
+  cfg.net.chaos.stragglers = 2;
+  cfg.net.chaos.straggler_slowdown = 8.0;
+  const auto slow = run_match(g, 8, Model::kNcl, cfg);
+  EXPECT_GT(slow.time, clean.time);
+  EXPECT_EQ(slow.matching.mate, clean.matching.mate);
+}
+
+TEST(ChaosSweep, WatchdogHorizonCutsOffLongRuns) {
+  const auto g = gen::erdos_renyi(400, 2400, 13);
+  RunConfig cfg;
+  cfg.watchdog_horizon = 1;  // 1 ns: nothing real finishes in that
+  EXPECT_THROW(run_match(g, 8, Model::kNsr, cfg), sim::WatchdogError);
+}
+
+}  // namespace
+}  // namespace mel::match

@@ -1,0 +1,61 @@
+// Pins the compute-cost accounting of LocalMatcher::find_mate on graphs
+// small enough to trace by hand. Guards the over-charge fix: the scan must
+// charge exactly the adjacency entries it inspected — in particular, zero
+// for a vertex with no edges (the old code billed one phantom edge per
+// empty or drained row).
+#include <gtest/gtest.h>
+
+#include "mel/graph/csr.hpp"
+#include "mel/match/driver.hpp"
+
+namespace mel::match {
+namespace {
+
+graph::Csr two_vertex_graph(bool with_edge) {
+  std::vector<graph::Edge> edges;
+  if (with_edge) edges.push_back({0, 1, 2.5});
+  return graph::Csr::from_edges(2, edges);
+}
+
+TEST(Counters, SingleEdgePairChargesExactlyInspectedEntries) {
+  const RunConfig cfg;
+  const auto run = run_match(two_vertex_graph(true), 1, Model::kNsr, cfg);
+  // Trace: find_mate(0) charges 1 vertex + 1 inspected entry and courts
+  // vertex 1; find_mate(1) charges 1 vertex + 1 entry and closes the
+  // mutual match; process_neighbors on each endpoint charges its full
+  // (1-entry) row. Nothing else computes at p=1.
+  const sim::Time expected =
+      2 * cfg.net.compute_per_vertex + 4 * cfg.net.compute_per_edge;
+  EXPECT_EQ(run.totals.compute_ns, expected);
+  EXPECT_EQ(run.matching.cardinality, 1);
+  EXPECT_DOUBLE_EQ(run.matching.weight, 2.5);
+}
+
+TEST(Counters, EdgelessVerticesChargeNoEdgeInspections) {
+  const RunConfig cfg;
+  const auto run = run_match(two_vertex_graph(false), 1, Model::kNsr, cfg);
+  // Two empty rows: the cursor never moves, so only the per-vertex charge
+  // applies. The pre-fix code charged 2 phantom edge inspections here.
+  EXPECT_EQ(run.totals.compute_ns, 2 * cfg.net.compute_per_vertex);
+  EXPECT_EQ(run.matching.cardinality, 0);
+}
+
+TEST(Counters, SkippedEntriesAreChargedOncePerScan) {
+  // Path 0-1-2 with (0,1) heavier. find_mate(0) and find_mate(1) each
+  // inspect one entry and match mutually; find_mate(2) skips its single
+  // entry (vertex 1 already matched), drains its row, and eagerly
+  // invalidates — no phantom charge for hitting the row end.
+  // process_neighbors(0) and (1) charge their full rows (1 + 2 entries).
+  const std::vector<graph::Edge> edges{{0, 1, 5.0}, {1, 2, 1.0}};
+  const RunConfig cfg;
+  const auto run =
+      run_match(graph::Csr::from_edges(3, edges), 1, Model::kNsr, cfg);
+  const sim::Time expected =
+      3 * cfg.net.compute_per_vertex + 6 * cfg.net.compute_per_edge;
+  EXPECT_EQ(run.totals.compute_ns, expected);
+  EXPECT_EQ(run.matching.cardinality, 1);
+  EXPECT_DOUBLE_EQ(run.matching.weight, 5.0);
+}
+
+}  // namespace
+}  // namespace mel::match

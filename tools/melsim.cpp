@@ -19,6 +19,14 @@
 //   --trace out.json                write a Chrome/Perfetto trace
 //   --matrix out.csv                write the comm matrix (bytes) as CSV
 //   --csv                           machine-readable one-line summary
+//   chaos / hardening:
+//   --chaos-seed S                  fault-injection seed (default 1)
+//   --chaos-jitter F                per-message latency jitter fraction
+//   --chaos-stragglers K            number of slowed ranks
+//   --chaos-straggler-slow X        compute slowdown factor for stragglers
+//   --chaos-coll-skew NS            max per-rank collective entry skew (ns)
+//   --watchdog-horizon NS           abort if virtual time exceeds NS (0=off)
+//   --no-audit                      disable finalize-time invariant audits
 #include <cstdio>
 #include <string>
 
@@ -97,6 +105,16 @@ int main(int argc, char** argv) {
   match::RunConfig cfg;
   cfg.collect_matrix = cli.has("matrix");
   if (cli.has("trace")) cfg.tracer = &tracer;
+  cfg.audit = !cli.get_bool("no-audit", false);
+  cfg.watchdog_horizon =
+      static_cast<sim::Time>(cli.get_int("watchdog-horizon", 0));
+  cfg.net.chaos.seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed", 1));
+  cfg.net.chaos.latency_jitter = cli.get_double("chaos-jitter", 0.0);
+  cfg.net.chaos.stragglers =
+      static_cast<int>(cli.get_int("chaos-stragglers", 0));
+  cfg.net.chaos.straggler_slowdown = cli.get_double("chaos-straggler-slow", 1.0);
+  cfg.net.chaos.collective_skew =
+      static_cast<sim::Time>(cli.get_int("chaos-coll-skew", 0));
 
   if (algo == "match") {
     match::RunResult run;
