@@ -47,12 +47,39 @@ struct Config {
   /// global, or fence), in ns. Models OS noise at synchronization points.
   Time collective_skew = 0;
 
+  /// Per-copy wire fault probabilities for point-to-point traffic. Unlike
+  /// the timing knobs above these *do* destroy messages, so any nonzero
+  /// value requires the reliable transport (mel::ft) below the MPI layer;
+  /// the Machine refuses faulty p2p traffic without it. Each probability
+  /// is drawn independently per wire copy (original send or retransmit)
+  /// as a pure function of (seed, channel, sequence, attempt).
+  double loss = 0.0;         ///< copy silently dropped by the network
+  double duplication = 0.0;  ///< copy delivered twice
+  double corruption = 0.0;   ///< one payload byte flipped in transit
+
+  /// A scheduled fail-stop rank crash: at virtual time `at` the rank stops
+  /// executing forever (its coroutine is never resumed again). Survivors
+  /// observe it ULFM-style through mpi::Machine::failed_ranks() and
+  /// Comm::agree_failed(); the match driver recovers via checkpoints.
+  struct Crash {
+    Rank rank = -1;
+    Time at = 0;
+  };
+  std::vector<Crash> crashes;
+
   bool enabled() const {
     // Deliberately != rather than >: a negative knob is a config error, and
     // treating it as "on" routes it into the Engine ctor, which rejects it
     // with a named message instead of silently running unperturbed.
     return latency_jitter != 0.0 || collective_skew != 0 ||
-           (stragglers != 0 && straggler_slowdown != 1.0);
+           (stragglers != 0 && straggler_slowdown != 1.0) || loss != 0.0 ||
+           duplication != 0.0 || corruption != 0.0 || !crashes.empty();
+  }
+
+  /// True if any message-destroying knob is set (loss/dup/corruption);
+  /// these are the faults that demand the reliable transport.
+  bool wire_faults() const {
+    return loss != 0.0 || duplication != 0.0 || corruption != 0.0;
   }
 };
 
@@ -78,9 +105,31 @@ class Engine {
   /// (an arbitrary small integer distinguishing neighbor/global/fence).
   Time collective_skew(Rank rank, int kind, std::uint64_t seq) const;
 
+  // -- Wire-fate draws (consumed by the mel::ft reliable transport) --------
+  // Each is a pure function of (seed, channel, seq, attempt): the same
+  // copy of the same message meets the same fate on every run.
+
+  /// Data copy `attempt` of channel message `seq` is lost in transit.
+  bool wire_lost(Rank src, Rank dst, int tag, std::uint64_t seq,
+                 int attempt) const;
+  /// Data copy arrives with one payload byte flipped.
+  bool wire_corrupted(Rank src, Rank dst, int tag, std::uint64_t seq,
+                      int attempt) const;
+  /// Data copy is delivered twice by the network.
+  bool wire_duplicated(Rank src, Rank dst, int tag, std::uint64_t seq,
+                       int attempt) const;
+  /// The `ack_no`-th acknowledgement on the channel is lost (acks share
+  /// the data loss probability).
+  bool ack_lost(Rank src, Rank dst, int tag, std::uint64_t seq,
+                std::uint64_t ack_no) const;
+
  private:
   /// Uniform double in [0, 1) from a 64-bit hash input.
   static double unit(std::uint64_t h);
+
+  /// One seeded Bernoulli draw, salted by fault kind.
+  bool fate(std::uint64_t salt, Rank src, Rank dst, int tag, std::uint64_t seq,
+            std::uint64_t attempt, double p) const;
 
   Config cfg_;
   int nranks_;

@@ -1,0 +1,68 @@
+// Knobs for the reliable point-to-point transport (mel::ft) and the match
+// driver's checkpoint/recovery machinery.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "mel/sim/time.hpp"
+
+namespace mel::ft {
+
+using sim::Time;
+
+/// Thrown by the transport on unrecoverable protocol failures (a live
+/// peer that never acknowledges within retry_max retransmissions).
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(std::string what)
+      : std::runtime_error(std::move(what)) {}
+};
+
+struct Params {
+  /// Route point-to-point traffic through the ack/retransmit transport.
+  /// The match driver also enables it automatically whenever the chaos
+  /// config carries wire faults (loss/duplication/corruption) or crashes.
+  bool enabled = false;
+
+  /// Maximum retransmissions per segment (not counting the first copy).
+  /// Exceeding it with a live destination is a TransportError; with a
+  /// failed destination the segment is quietly abandoned.
+  int retry_max = 16;
+
+  /// Retransmission timeout for the first copy, ns. Subsequent timeouts
+  /// back off exponentially (rto_base * rto_backoff^attempt) with a
+  /// deterministic per-segment jitter of up to +rto_jitter (fraction) so
+  /// competing retransmit timers decorrelate.
+  Time rto_base = 25'000;
+  double rto_backoff = 2.0;
+  double rto_jitter = 0.25;
+
+  /// Virtual-time interval between driver-level checkpoints of per-rank
+  /// matching state (0 = no checkpoints; a crash then recovers from an
+  /// empty checkpoint, i.e. re-matches the whole surviving subgraph).
+  Time checkpoint_ns = 0;
+
+  /// Reject out-of-range knobs with named errors.
+  void validate() const {
+    if (retry_max < 0 || retry_max > 64) {
+      throw std::invalid_argument(
+          "ft: retry_max must be in [0, 64] (got " +
+          std::to_string(retry_max) + ")");
+    }
+    if (rto_base <= 0) {
+      throw std::invalid_argument("ft: rto_base must be > 0 ns");
+    }
+    if (rto_backoff < 1.0) {
+      throw std::invalid_argument("ft: rto_backoff must be >= 1.0");
+    }
+    if (rto_jitter < 0.0 || rto_jitter > 1.0) {
+      throw std::invalid_argument("ft: rto_jitter must be in [0, 1]");
+    }
+    if (checkpoint_ns < 0) {
+      throw std::invalid_argument("ft: checkpoint_ns must be >= 0");
+    }
+  }
+};
+
+}  // namespace mel::ft

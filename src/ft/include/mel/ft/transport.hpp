@@ -1,0 +1,151 @@
+// Reliable point-to-point transport over a lossy simulated network.
+//
+// Sits between mpi::Machine::isend and message delivery, below the MPI
+// semantics layer — the shape of the transport-level reliability work MPI
+// Advance layers above stock MPI. Per (src, dst, tag) channel it provides:
+//
+//   * sequence numbers and a receiver reorder buffer, so the MPI layer
+//     keeps its per-channel non-overtaking guarantee even when the wire
+//     drops, duplicates, or reorders copies;
+//   * a CRC-32 checksum per segment (mel::util::crc32); corrupted copies
+//     are detected and dropped, then repaired by retransmission;
+//   * positive acknowledgements with retransmit timers: exponential
+//     backoff plus deterministic jitter, capped at retry_max retries.
+//
+// Every copy (data or ack) is priced through the LogGP cost model and the
+// per-rank CommCounters (retransmits / dropped / corrupt_detected /
+// dup_filtered / acks), so the overhead of reliability is measurable per
+// communication model. Crashed destinations stop retransmission: segments
+// to a failed rank are abandoned and reported to the host.
+//
+// The transport owns no MPI state. It talks to the Machine through the
+// narrow Host interface below (delivery, counting, pricing, failure
+// queries), which keeps the dependency one-way: mel_mpi links mel_ft.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "mel/chaos/chaos.hpp"
+#include "mel/ft/params.hpp"
+#include "mel/net/network.hpp"
+#include "mel/sim/simulator.hpp"
+
+namespace mel::ft {
+
+using sim::Rank;
+using sim::Time;
+
+/// Transport events the host tallies into its per-rank counters.
+enum class Stat {
+  kRetransmit,      // sender re-sent an unacknowledged segment
+  kDropped,         // a wire copy (data or ack) was lost by the network
+  kCorruptDetected, // receiver dropped a copy on checksum mismatch
+  kDupFiltered,     // receiver filtered an already-seen segment
+  kAck,             // receiver sent an acknowledgement
+};
+
+/// Callbacks into the MPI layer (implemented by mpi::Machine).
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// Hand one reliable, in-order segment to the MPI layer: schedule its
+  /// mailbox delivery at `arrive_at` and settle in-flight accounting.
+  virtual void ft_deliver(Rank src, Rank dst, int tag,
+                          std::vector<std::byte> payload, Time sent_at,
+                          Time arrive_at) = 0;
+
+  /// Tally one transport event on `rank`'s counters.
+  virtual void ft_count(Rank rank, Stat stat) = 0;
+
+  /// Price `ns` of NIC/progress-engine work (retransmit posts, ack sends)
+  /// into `rank`'s communication time.
+  virtual void ft_price(Rank rank, Time ns) = 0;
+
+  /// A segment posted by `src` was abandoned because its destination
+  /// failed; the host settles conservation and in-flight accounting.
+  virtual void ft_abandoned(Rank src, std::size_t payload_bytes) = 0;
+
+  /// ULFM-style failure query.
+  virtual bool ft_rank_failed(Rank rank) const = 0;
+
+  /// Record one wire copy in the (src, dst) communication matrix.
+  virtual void ft_record_wire(Rank src, Rank dst, std::size_t bytes) = 0;
+};
+
+class Transport {
+ public:
+  /// Wire framing: the MPI envelope every copy carries, the transport's
+  /// own header (seq + crc + flags), and the fixed ack segment size.
+  static constexpr std::size_t kEnvelopeBytes = 16;
+  static constexpr std::size_t kFtHeaderBytes = 16;
+  static constexpr std::size_t kAckBytes = kEnvelopeBytes + 8;
+
+  /// `chaos` may be null (reliable wire: the transport still sequences,
+  /// acks, and prices, but nothing is ever lost). All references must
+  /// outlive the transport.
+  Transport(Host& host, sim::Simulator& sim, const net::Network& net,
+            chaos::Engine* chaos, const Params& params);
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Accept one payload from the MPI layer at the sender's current clock;
+  /// the transport guarantees exactly-once in-order delivery per channel
+  /// (or abandonment if the destination fails).
+  void send(Rank src, Rank dst, int tag, std::span<const std::byte> data);
+
+  /// Failure notification: abandon unacknowledged segments to the dead
+  /// rank and discard its reorder buffers; stops retransmission.
+  void on_rank_failed(Rank rank);
+
+  /// True when no segment is unacknowledged and no reorder buffer holds
+  /// data — the finalize-audit condition for fault-free runs.
+  bool idle() const;
+
+  /// Unacknowledged segments across all channels (diagnostics).
+  std::uint64_t pending_segments() const;
+
+ private:
+  struct Pending {
+    std::vector<std::byte> payload;
+    std::uint32_t crc = 0;
+    Time first_posted = 0;
+    int attempts = 0;  // copies sent so far
+  };
+  struct HeldSeg {
+    std::vector<std::byte> payload;
+    Time sent_at = 0;
+  };
+  struct Channel {
+    Rank src = -1;
+    Rank dst = -1;
+    int tag = 0;
+    std::uint64_t next_seq = 0;      // sender side
+    std::uint64_t next_deliver = 0;  // receiver side
+    std::uint64_t acks_sent = 0;
+    Time last_deliver = -1;
+    std::map<std::uint64_t, Pending> pending;  // sender: unacked segments
+    std::map<std::uint64_t, HeldSeg> held;     // receiver: reorder buffer
+  };
+
+  Channel& channel(Rank src, Rank dst, int tag);
+  void attempt(Channel& ch, std::uint64_t seq, Time t);
+  void arrive(Channel& ch, std::uint64_t seq, std::vector<std::byte> payload,
+              std::uint32_t crc, bool corrupt, Time t, Time sent_at);
+  void send_ack(Channel& ch, std::uint64_t seq, Time t);
+  void abandon(Channel& ch, std::uint64_t seq);
+  Time rto(const Channel& ch, std::uint64_t seq, int attempt) const;
+
+  Host& host_;
+  sim::Simulator& sim_;
+  const net::Network& net_;
+  chaos::Engine* chaos_;  // null = reliable wire
+  Params params_;
+  std::map<std::uint64_t, Channel> channels_;  // stable nodes; never erased
+};
+
+}  // namespace mel::ft

@@ -1,0 +1,224 @@
+#include "mel/ft/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "mel/util/crc32.hpp"
+#include "mel/util/rng.hpp"
+
+namespace mel::ft {
+
+namespace {
+
+/// Same packing as the chaos engine's channel key: 21 bits each.
+std::uint64_t channel_key(Rank src, Rank dst, int tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 21) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag) & 0x1fffff);
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(util::hash64(h) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Transport::Transport(Host& host, sim::Simulator& sim, const net::Network& net,
+                     chaos::Engine* chaos, const Params& params)
+    : host_(host), sim_(sim), net_(net), chaos_(chaos), params_(params) {
+  params_.validate();
+}
+
+Transport::Channel& Transport::channel(Rank src, Rank dst, int tag) {
+  auto& ch = channels_[channel_key(src, dst, tag)];
+  if (ch.src < 0) {
+    ch.src = src;
+    ch.dst = dst;
+    ch.tag = tag;
+  }
+  return ch;
+}
+
+void Transport::send(Rank src, Rank dst, int tag,
+                     std::span<const std::byte> data) {
+  Channel& ch = channel(src, dst, tag);
+  const std::uint64_t seq = ch.next_seq++;
+  Pending pe;
+  pe.payload.assign(data.begin(), data.end());
+  pe.crc = util::crc32(data);
+  pe.first_posted = sim_.rank_now(src);
+  ch.pending.emplace(seq, std::move(pe));
+  attempt(ch, seq, sim_.rank_now(src));
+}
+
+Time Transport::rto(const Channel& ch, std::uint64_t seq, int attempt) const {
+  // Exponential backoff with a capped exponent (the cap only matters past
+  // retry_max anyway) and deterministic decorrelating jitter.
+  const int e = std::min(attempt, 16);
+  double v = static_cast<double>(params_.rto_base) *
+             std::pow(params_.rto_backoff, static_cast<double>(e));
+  const std::uint64_t h = util::hash_combine(
+      channel_key(ch.src, ch.dst, ch.tag) ^ 0x5bf03635ull,
+      util::hash_combine(seq, static_cast<std::uint64_t>(attempt)));
+  v *= 1.0 + params_.rto_jitter * unit(h);
+  return static_cast<Time>(v);
+}
+
+void Transport::abandon(Channel& ch, std::uint64_t seq) {
+  auto it = ch.pending.find(seq);
+  if (it == ch.pending.end()) return;
+  host_.ft_abandoned(ch.src, it->second.payload.size());
+  ch.pending.erase(it);
+}
+
+void Transport::attempt(Channel& ch, std::uint64_t seq, Time t) {
+  auto it = ch.pending.find(seq);
+  if (it == ch.pending.end()) return;  // acknowledged in the meantime
+  if (host_.ft_rank_failed(ch.dst) || host_.ft_rank_failed(ch.src)) {
+    // Dead destination (nothing to deliver to) or dead sender (a lost
+    // copy can never be retransmitted): stop and settle the accounting.
+    abandon(ch, seq);
+    return;
+  }
+  Pending& pe = it->second;
+  const int n = pe.attempts++;
+  const std::size_t wire_bytes =
+      pe.payload.size() + kEnvelopeBytes + kFtHeaderBytes;
+  if (n > 0) {
+    // A retransmission costs another o_send of NIC work and another wire
+    // copy — this is where reliability shows up in the cost model.
+    host_.ft_count(ch.src, Stat::kRetransmit);
+    host_.ft_price(ch.src, net_.params().o_send);
+  }
+  host_.ft_record_wire(ch.src, ch.dst, wire_bytes);
+
+  const bool lost =
+      chaos_ != nullptr && chaos_->wire_lost(ch.src, ch.dst, ch.tag, seq, n);
+  if (lost) {
+    host_.ft_count(ch.src, Stat::kDropped);
+  } else {
+    const bool corrupt = chaos_ != nullptr &&
+                         chaos_->wire_corrupted(ch.src, ch.dst, ch.tag, seq, n);
+    Time wire = net_.transfer_time(ch.src, ch.dst, wire_bytes);
+    if (chaos_ != nullptr) {
+      wire += chaos_->transfer_jitter(ch.src, ch.dst, ch.tag, wire);
+    }
+    const Time at = t + wire;
+    auto deliver_copy = [this, &ch, seq, corrupt](Time when, const Pending& p) {
+      sim_.schedule(when, [this, &ch, seq, corrupt, when, payload = p.payload,
+                           crc = p.crc, sent_at = p.first_posted]() mutable {
+        arrive(ch, seq, std::move(payload), crc, corrupt, when, sent_at);
+      });
+    };
+    deliver_copy(at, pe);
+    if (chaos_ != nullptr &&
+        chaos_->wire_duplicated(ch.src, ch.dst, ch.tag, seq, n)) {
+      // The network delivers a second, bit-identical copy a little later.
+      deliver_copy(at + wire / 2 + 1, pe);
+    }
+  }
+
+  const Time deadline = t + rto(ch, seq, n);
+  if (n >= params_.retry_max) {
+    // Out of retries: when this timer fires with the segment still
+    // unacknowledged, a dead peer means abandonment, a live one a bug or
+    // an absurd loss rate — surface it by name either way.
+    sim_.schedule(deadline, [this, &ch, seq, n] {
+      if (ch.pending.find(seq) == ch.pending.end()) return;
+      if (host_.ft_rank_failed(ch.dst) || host_.ft_rank_failed(ch.src)) {
+        abandon(ch, seq);
+        return;
+      }
+      std::ostringstream os;
+      os << "ft: segment seq=" << seq << " on channel (" << ch.src << " -> "
+         << ch.dst << ", tag=" << ch.tag << ") unacknowledged after "
+         << (n + 1) << " copies (retry_max=" << params_.retry_max
+         << ") with a live destination";
+      throw TransportError(os.str());
+    });
+  } else {
+    sim_.schedule(deadline,
+                  [this, &ch, seq, deadline] { attempt(ch, seq, deadline); });
+  }
+}
+
+void Transport::arrive(Channel& ch, std::uint64_t seq,
+                       std::vector<std::byte> payload, std::uint32_t crc,
+                       bool corrupt, Time t, Time sent_at) {
+  if (host_.ft_rank_failed(ch.dst)) return;  // dead NIC; sender will abandon
+  if (corrupt) {
+    // Materialize the fault — flip one byte — and let the checksum do the
+    // detecting. CRC-32 catches every single-byte error, so a corrupted
+    // copy never sneaks through; the from_bytes size validation in the
+    // MPI layer is the backstop for framing-level damage.
+    if (!payload.empty()) {
+      const auto pos = static_cast<std::size_t>(
+          util::hash_combine(seq, static_cast<std::uint64_t>(ch.tag)) %
+          payload.size());
+      payload[pos] ^= std::byte{0x40};
+    }
+    if (payload.empty() || util::crc32(payload) != crc) {
+      host_.ft_count(ch.dst, Stat::kCorruptDetected);
+      return;  // no ack: the sender's timer repairs it
+    }
+  }
+  if (seq < ch.next_deliver || ch.held.find(seq) != ch.held.end()) {
+    // Already seen (network duplicate, or a retransmit racing a lost
+    // ack): filter it and re-ack so the sender's timer stops.
+    host_.ft_count(ch.dst, Stat::kDupFiltered);
+    send_ack(ch, seq, t);
+    return;
+  }
+  ch.held.emplace(seq, HeldSeg{std::move(payload), sent_at});
+  send_ack(ch, seq, t);
+  // Release every now-in-order segment to the MPI layer. Strictly
+  // increasing arrival stamps per channel preserve MPI non-overtaking.
+  while (true) {
+    auto it = ch.held.find(ch.next_deliver);
+    if (it == ch.held.end()) break;
+    const Time at = std::max(t, ch.last_deliver + 1);
+    host_.ft_deliver(ch.src, ch.dst, ch.tag, std::move(it->second.payload),
+                     it->second.sent_at, at);
+    ch.last_deliver = at;
+    ch.held.erase(it);
+    ++ch.next_deliver;
+  }
+}
+
+void Transport::send_ack(Channel& ch, std::uint64_t seq, Time t) {
+  host_.ft_count(ch.dst, Stat::kAck);
+  host_.ft_price(ch.dst, net_.params().o_ack);
+  host_.ft_record_wire(ch.dst, ch.src, kAckBytes);
+  const std::uint64_t ack_no = ch.acks_sent++;
+  if (chaos_ != nullptr &&
+      chaos_->ack_lost(ch.src, ch.dst, ch.tag, seq, ack_no)) {
+    host_.ft_count(ch.dst, Stat::kDropped);
+    return;  // the sender retransmits; the receiver dedups
+  }
+  const Time wire = net_.transfer_time(ch.dst, ch.src, kAckBytes);
+  sim_.schedule(t + wire, [this, &ch, seq] { ch.pending.erase(seq); });
+}
+
+void Transport::on_rank_failed(Rank rank) {
+  for (auto& [key, ch] : channels_) {
+    if (ch.dst != rank) continue;
+    while (!ch.pending.empty()) abandon(ch, ch.pending.begin()->first);
+    ch.held.clear();
+  }
+}
+
+bool Transport::idle() const {
+  for (const auto& [key, ch] : channels_) {
+    if (!ch.pending.empty() || !ch.held.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Transport::pending_segments() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, ch] : channels_) n += ch.pending.size();
+  return n;
+}
+
+}  // namespace mel::ft

@@ -63,6 +63,14 @@ class Csr {
   /// relabeled graph (adjacency re-sorted).
   Csr permuted(std::span<const VertexId> perm) const;
 
+  /// Subgraph induced by the vertices with keep[v] != 0, renumbered
+  /// densely in ascending old-id order; only edges with both endpoints
+  /// kept survive. If `old_ids` is non-null it receives the new-id ->
+  /// old-id map. Used by crash recovery to re-match the surviving,
+  /// still-unmatched part of a graph.
+  Csr induced_subgraph(std::span<const char> keep,
+                       std::vector<VertexId>* old_ids = nullptr) const;
+
   /// Memory footprint of the CSR arrays in bytes (for the memory model).
   std::size_t byte_size() const {
     return offsets_.size() * sizeof(EdgeId) + adj_.size() * sizeof(Adj);

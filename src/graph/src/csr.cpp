@@ -84,6 +84,35 @@ std::vector<Edge> Csr::to_edges() const {
   return edges;
 }
 
+Csr Csr::induced_subgraph(std::span<const char> keep,
+                          std::vector<VertexId>* old_ids) const {
+  if (static_cast<VertexId>(keep.size()) != nverts()) {
+    throw std::invalid_argument("Csr::induced_subgraph: keep size mismatch");
+  }
+  std::vector<VertexId> new_id(keep.size(), -1);
+  VertexId n2 = 0;
+  for (VertexId v = 0; v < nverts(); ++v) {
+    if (keep[v] != 0) new_id[v] = n2++;
+  }
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < nverts(); ++v) {
+    if (keep[v] == 0) continue;
+    for (const Adj& a : neighbors(v)) {
+      if (a.to > v && keep[a.to] != 0) {
+        edges.push_back(Edge{new_id[v], new_id[a.to], a.w});
+      }
+    }
+  }
+  if (old_ids != nullptr) {
+    old_ids->clear();
+    old_ids->reserve(static_cast<std::size_t>(n2));
+    for (VertexId v = 0; v < nverts(); ++v) {
+      if (keep[v] != 0) old_ids->push_back(v);
+    }
+  }
+  return from_edges(n2, edges);
+}
+
 Csr Csr::permuted(std::span<const VertexId> perm) const {
   if (static_cast<VertexId>(perm.size()) != nverts()) {
     throw std::invalid_argument("Csr::permuted: permutation size mismatch");

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "mel/ft/params.hpp"
 #include "mel/graph/dist.hpp"
 #include "mel/match/backends.hpp"
 #include "mel/match/serial.hpp"
@@ -32,6 +33,11 @@ struct RunConfig {
   /// Abort with a per-rank diagnostic (sim::WatchdogError) if virtual
   /// time exceeds this horizon, in ns. 0 = unlimited.
   sim::Time watchdog_horizon = 0;
+  /// Fault tolerance: reliable-transport knobs and the checkpoint interval
+  /// (ft.checkpoint_ns). The transport is enabled automatically whenever
+  /// the chaos config injects wire faults or schedules crashes, regardless
+  /// of ft.enabled.
+  ft::Params ft{};
 };
 
 struct RunResult {
@@ -60,6 +66,14 @@ struct RunResult {
   std::uint64_t iterations = 0;  // max over ranks
 
   std::unique_ptr<mpi::CommMatrix> matrix;  // if collect_matrix
+
+  /// Ranks that failed (fail-stop crashes), in rank order; empty for a
+  /// fault-free run. When non-empty the matching covers only vertices
+  /// owned by surviving ranks, and `time`/`totals` span the aborted run
+  /// plus every recovery pass.
+  std::vector<Rank> failed_ranks;
+  /// Checkpoint-rollback recovery passes that ran (0 = none needed).
+  int recoveries = 0;
 };
 
 /// Run one model on a prebuilt distribution.

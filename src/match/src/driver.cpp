@@ -1,19 +1,54 @@
 #include "mel/match/driver.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 #include "mel/match/verify.hpp"
 #include "mel/mpi/machine.hpp"
 
 namespace mel::match {
 
-RunResult run_match(const graph::DistGraph& dg, Model model,
-                    const RunConfig& cfg) {
+namespace {
+
+/// Snapshot of per-rank matching state taken by the periodic run-loop
+/// hook. Only *mutually recorded* pairs in it are trusted by recovery.
+struct Checkpoint {
+  bool valid = false;
+  sim::Time at = 0;
+  std::vector<std::vector<std::int64_t>> state;  // per rank; may be empty
+};
+
+/// Outcome of one simulator pass, which either completes or aborts on a
+/// rank failure (carrying the last pre-crash checkpoint for rollback).
+struct Attempt {
+  bool failed = false;
+  std::vector<Rank> failed_ranks;
+  Checkpoint ckpt;
+  std::vector<std::vector<VertexId>> mates;  // per-rank engine output
+  RunResult result;  // matching fields empty when `failed`
+};
+
+Attempt run_once(const graph::DistGraph& dg, Model model,
+                 const RunConfig& cfg) {
+  cfg.ft.validate();
   const int p = dg.nranks();
+  Attempt a;
+  a.ckpt.state.resize(p);
+  a.mates.resize(p);
+
   sim::Simulator simulator(p);
   simulator.set_horizon(cfg.watchdog_horizon);
   mpi::Machine machine(simulator, net::Network(p, cfg.net));
   machine.set_audit(cfg.audit);
+  const auto& chaos = cfg.net.chaos;
+  if (cfg.ft.enabled || chaos.wire_faults() || !chaos.crashes.empty()) {
+    // Wire faults destroy messages and crashes strand them: both need the
+    // reliable ack/retransmit transport below the MPI layer.
+    ft::Params fp = cfg.ft;
+    fp.enabled = true;
+    machine.enable_ft(fp);
+  }
 
   // Distributed-graph process topology from the ghost structure; the
   // machine validates symmetry before the first neighborhood collective.
@@ -37,52 +72,81 @@ RunResult run_match(const graph::DistGraph& dg, Model model,
     machine.account_buffer(r, backend_buffer_bytes(model, dg.local(r)));
   }
 
-  std::vector<std::vector<VertexId>> mates(p);
   std::vector<std::uint64_t> iterations(p, 0);
   for (Rank r = 0; r < p; ++r) {
     mpi::Comm& comm = machine.comm(r);
     const graph::LocalGraph& lg = dg.local(r);
     switch (model) {
       case Model::kNsr:
-        simulator.spawn(r, nsr_matcher(comm, lg, dg.dist(), false, &mates[r],
+        simulator.spawn(r, nsr_matcher(comm, lg, dg.dist(), false, &a.mates[r],
                                        &iterations[r]));
         break;
       case Model::kMbp:
-        simulator.spawn(r, nsr_matcher(comm, lg, dg.dist(), true, &mates[r],
+        simulator.spawn(r, nsr_matcher(comm, lg, dg.dist(), true, &a.mates[r],
                                        &iterations[r]));
         break;
       case Model::kRma:
         simulator.spawn(r, rma_matcher(comm, lg, dg.dist(), window_id,
-                                       &mates[r], &iterations[r]));
+                                       &a.mates[r], &iterations[r]));
         break;
       case Model::kNcl:
         simulator.spawn(
-            r, ncl_matcher(comm, lg, dg.dist(), &mates[r], &iterations[r]));
+            r, ncl_matcher(comm, lg, dg.dist(), &a.mates[r], &iterations[r]));
         break;
       case Model::kNsrAgg:
-        simulator.spawn(r, nsr_agg_matcher(comm, lg, dg.dist(), &mates[r],
+        simulator.spawn(r, nsr_agg_matcher(comm, lg, dg.dist(), &a.mates[r],
                                            &iterations[r]));
         break;
       case Model::kRmaFence:
         simulator.spawn(r, rma_fence_matcher(comm, lg, dg.dist(), window_id,
-                                             &mates[r], &iterations[r]));
+                                             &a.mates[r], &iterations[r]));
         break;
       case Model::kNclNb:
         simulator.spawn(
-            r, ncl_nb_matcher(comm, lg, dg.dist(), &mates[r], &iterations[r]));
+            r, ncl_nb_matcher(comm, lg, dg.dist(), &a.mates[r], &iterations[r]));
         break;
     }
   }
 
-  simulator.run();
-  machine.audit_or_throw();
+  if (cfg.ft.checkpoint_ns > 0) {
+    // Periodic checkpoint from the run loop (never a queue event: a
+    // self-rescheduling event would keep the queue alive forever and mask
+    // both deadlock and crash detection). Finished ranks are read from
+    // their output vectors; live ranks through their registered state
+    // probe (frame guaranteed alive); once any rank has crashed the hook
+    // stops, preserving the last pre-crash snapshot for rollback.
+    simulator.set_periodic_hook(cfg.ft.checkpoint_ns, [&](sim::Time t) {
+      if (machine.failed_count() > 0) return;
+      for (Rank r = 0; r < p; ++r) {
+        if (simulator.rank_done(r)) {
+          a.ckpt.state[r].assign(a.mates[r].begin(), a.mates[r].end());
+        } else if (machine.has_state_probe(r)) {
+          a.ckpt.state[r] = machine.probe_state(r);
+        }
+      }
+      a.ckpt.valid = true;
+      a.ckpt.at = t;
+    });
+  }
 
-  RunResult result;
+  try {
+    simulator.run();
+  } catch (const sim::RankFailure&) {
+    // Survivors blocked on a dead peer; fall through to recovery.
+  } catch (const mpi::RankFailedError&) {
+    // A survivor hit the dead rank fail-fast (ULFM MPI_ERR_PROC_FAILED).
+  }
+  a.failed_ranks = machine.failed_ranks();
+  a.failed = !a.failed_ranks.empty();
+  if (!a.failed) machine.audit_or_throw();
+
+  RunResult& result = a.result;
   result.model = model;
   result.nranks = p;
   result.time = simulator.max_rank_time();
   result.sim_events = simulator.events_executed();
   result.totals = machine.total_counters();
+  result.failed_ranks = a.failed_ranks;
   result.per_rank.reserve(p);
   for (Rank r = 0; r < p; ++r) {
     result.per_rank.push_back(machine.counters(r));
@@ -97,23 +161,114 @@ RunResult run_match(const graph::DistGraph& dg, Model model,
     result.matrix = std::make_unique<mpi::CommMatrix>(machine.matrix());
   }
 
-  // Assemble the global matching.
-  result.matching.mate.assign(static_cast<std::size_t>(dg.nverts()),
-                              kNullVertex);
-  for (Rank r = 0; r < p; ++r) {
-    const VertexId base = dg.local(r).vbegin;
-    for (std::size_t i = 0; i < mates[r].size(); ++i) {
-      result.matching.mate[static_cast<std::size_t>(base) + i] = mates[r][i];
+  if (!a.failed) {
+    // Assemble the global matching.
+    result.matching.mate.assign(static_cast<std::size_t>(dg.nverts()),
+                                kNullVertex);
+    for (Rank r = 0; r < p; ++r) {
+      const VertexId base = dg.local(r).vbegin;
+      for (std::size_t i = 0; i < a.mates[r].size(); ++i) {
+        result.matching.mate[static_cast<std::size_t>(base) + i] =
+            a.mates[r][i];
+      }
     }
+    result.matching.cardinality = matching_cardinality(result.matching.mate);
   }
-  result.matching.cardinality = matching_cardinality(result.matching.mate);
-  return result;
+  return a;
+}
+
+}  // namespace
+
+RunResult run_match(const graph::DistGraph& dg, Model model,
+                    const RunConfig& cfg) {
+  if (!cfg.net.chaos.crashes.empty()) {
+    throw std::invalid_argument(
+        "run_match(DistGraph): scheduled rank crashes need checkpoint "
+        "recovery over the global graph — use the Csr overload, which can "
+        "rebuild the surviving subgraph");
+  }
+  Attempt a = run_once(dg, model, cfg);
+  return std::move(a.result);
 }
 
 RunResult run_match(const graph::Csr& g, int nranks, Model model,
                     const RunConfig& cfg) {
   const graph::DistGraph dg(g, nranks);
-  RunResult result = run_match(dg, model, cfg);
+  Attempt a = run_once(dg, model, cfg);
+  if (!a.failed) {
+    RunResult result = std::move(a.result);
+    result.matching.weight = matching_weight(g, result.matching.mate);
+    return result;
+  }
+
+  // -- Checkpoint rollback and recovery -------------------------------------
+  //
+  // Matched pairs are *final* in the locally-dominant algorithm (monotone
+  // state), so any pair both endpoints recorded by the last pre-crash
+  // checkpoint is durable — unless an endpoint's owner died, which takes
+  // its vertices (and their matches) out of the computation. Everything
+  // else rolls back: surviving, still-unmatched vertices are re-matched
+  // from scratch on the induced subgraph over the surviving ranks.
+  const auto& dist = dg.dist();
+  const VertexId n = g.nverts();
+  std::vector<char> rank_failed(static_cast<std::size_t>(nranks), 0);
+  for (const Rank r : a.failed_ranks) rank_failed[static_cast<std::size_t>(r)] = 1;
+
+  std::vector<VertexId> rolled(static_cast<std::size_t>(n), kNullVertex);
+  if (a.ckpt.valid) {
+    for (Rank r = 0; r < nranks; ++r) {
+      const auto& st = a.ckpt.state[r];
+      const VertexId base = dist.begin(r);
+      for (std::size_t i = 0; i < st.size(); ++i) {
+        rolled[static_cast<std::size_t>(base) + i] =
+            static_cast<VertexId>(st[i]);
+      }
+    }
+  }
+  std::vector<VertexId> durable(static_cast<std::size_t>(n), kNullVertex);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId m = rolled[v];
+    if (m < 0 || m >= n || rolled[m] != v) continue;  // one-sided: not durable
+    if (rank_failed[static_cast<std::size_t>(dist.owner(v))] != 0 ||
+        rank_failed[static_cast<std::size_t>(dist.owner(m))] != 0) {
+      continue;  // invalidated: incident to a failed rank
+    }
+    durable[v] = m;
+  }
+
+  std::vector<char> keep(static_cast<std::size_t>(n), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    keep[v] = rank_failed[static_cast<std::size_t>(dist.owner(v))] == 0 &&
+              durable[v] == kNullVertex;
+  }
+  std::vector<VertexId> old_ids;
+  const graph::Csr sub = g.induced_subgraph(keep, &old_ids);
+  const int p2 = nranks - static_cast<int>(a.failed_ranks.size());  // >= 1
+
+  RunResult result = std::move(a.result);
+  result.recoveries = 1;
+  result.matching.mate = std::move(durable);
+  if (sub.nverts() > 0) {
+    // Re-run the same backend on the survivors. Remaining scheduled
+    // crashes are dropped — rank ids are remapped in the recovery run, so
+    // a crash time/rank pair from the original schedule is meaningless.
+    RunConfig cfg2 = cfg;
+    cfg2.net.chaos.crashes.clear();
+    const RunResult rec = run_match(sub, p2, model, cfg2);
+    for (VertexId v2 = 0; v2 < sub.nverts(); ++v2) {
+      const VertexId m2 = rec.matching.mate[v2];
+      if (m2 != kNullVertex) {
+        result.matching.mate[static_cast<std::size_t>(old_ids[v2])] =
+            old_ids[static_cast<std::size_t>(m2)];
+      }
+    }
+    // Recovery runs after the aborted attempt: job time and traffic add up.
+    result.time += rec.time;
+    result.sim_events += rec.sim_events;
+    result.iterations += rec.iterations;
+    result.totals += rec.totals;
+  }
+  result.matching.cardinality = matching_cardinality(result.matching.mate);
   result.matching.weight = matching_weight(g, result.matching.mate);
   return result;
 }

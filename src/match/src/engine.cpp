@@ -29,6 +29,13 @@ LocalMatcher::LocalMatcher(mpi::Comm& comm, const graph::LocalGraph& lg,
   mate_.assign(static_cast<std::size_t>(n), kNullVertex);
   cand_.assign(static_cast<std::size_t>(n), kNullVertex);
   active_cross_ = lg.total_ghost_edges;
+  // Checkpoint probe for crash recovery: the driver snapshots every rank's
+  // mate vector at virtual-time intervals. The machine invokes probes only
+  // for ranks that are neither done nor crashed, so `this` (which lives in
+  // the still-suspended coroutine frame) is guaranteed alive.
+  comm.machine().set_state_probe(comm.rank(), [this] {
+    return std::vector<std::int64_t>(mate_.begin(), mate_.end());
+  });
 }
 
 std::size_t LocalMatcher::state_bytes() const {

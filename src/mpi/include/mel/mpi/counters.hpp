@@ -22,6 +22,17 @@ struct CommCounters {
   std::uint64_t neighbor_colls = 0;
   std::uint64_t allreduces = 0;
   std::uint64_t barriers = 0;
+  std::uint64_t agrees = 0;          // ULFM-style failure-agreement collectives
+
+  /// Reliable-transport (mel::ft) events; all zero when ft is off. These
+  /// are what prices reliability: every retransmit and ack also lands in
+  /// comm_ns through the cost model.
+  std::uint64_t retransmits = 0;       // sender re-posted an unacked segment
+  std::uint64_t dropped = 0;           // wire copies (data or ack) lost
+  std::uint64_t corrupt_detected = 0;  // copies dropped on CRC mismatch
+  std::uint64_t dup_filtered = 0;      // already-seen copies filtered
+  std::uint64_t acks = 0;              // acknowledgements sent
+  std::uint64_t sends_failed = 0;      // isends aborted: peer already failed
 
   std::uint64_t bytes_sent = 0;      // p2p payload bytes
   std::uint64_t bytes_put = 0;       // one-sided payload bytes

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mel/chaos/chaos.hpp"
+#include "mel/ft/transport.hpp"
 #include "mel/mpi/counters.hpp"
 #include "mel/mpi/message.hpp"
 #include "mel/net/network.hpp"
@@ -28,6 +29,16 @@ class Comm;
 /// Reduction operator for global collectives.
 enum class ReduceOp { kSum, kMax, kMin };
 
+/// ULFM-style process-failure notification (MPI_ERR_PROC_FAILED): thrown
+/// by isend when the destination rank has already failed. Surfaces out of
+/// the rank coroutine through Simulator::run(); the match driver catches
+/// it (alongside sim::RankFailure) and runs checkpoint recovery.
+class RankFailedError : public std::runtime_error {
+ public:
+  explicit RankFailedError(std::string what)
+      : std::runtime_error(std::move(what)) {}
+};
+
 /// Optional per-operation trace sink (see perf::ChromeTracer). Invoked
 /// with the rank, an operation category ("isend", "recv", "ncoll",
 /// "allreduce", "put", "flush", "fence", "compute", ...), and the
@@ -39,7 +50,7 @@ class Tracer {
                       Time end) = 0;
 };
 
-class Machine {
+class Machine : public ft::Host {
  public:
   Machine(sim::Simulator& simulator, net::Network network);
   Machine(const Machine&) = delete;
@@ -123,6 +134,45 @@ class Machine {
 
   /// The fault-injection engine, if the network params enabled one.
   const chaos::Engine* chaos_engine() const { return chaos_.get(); }
+
+  // -- Fault tolerance ------------------------------------------------------
+
+  /// Route point-to-point traffic through the reliable ack/retransmit
+  /// transport (mel::ft). Must be called before any isend; required (and
+  /// enabled automatically by the match driver) whenever the chaos config
+  /// carries wire faults or scheduled crashes.
+  void enable_ft(const ft::Params& params);
+  bool ft_enabled() const { return transport_ != nullptr; }
+  const ft::Transport* transport() const { return transport_.get(); }
+
+  /// ULFM-style failure queries: the set of ranks known to have failed.
+  bool rank_failed(Rank rank) const { return failed_[rank] != 0; }
+  std::vector<Rank> failed_ranks() const;
+  int failed_count() const { return static_cast<int>(failed_ranks_.size()); }
+
+  /// Mark a rank failed *now*: kill its coroutine, stop retransmissions to
+  /// it, and recheck pending failure-agreement collectives. Scheduled
+  /// automatically for every chaos-configured crash; a crash landing after
+  /// the rank already returned is a no-op.
+  void handle_rank_failure(Rank rank);
+
+  /// Per-rank application-state probe for driver-level checkpointing: the
+  /// matching engine registers a callback returning its current state
+  /// vector. Probes are only invoked for ranks that are neither done nor
+  /// crashed (their coroutine frame — and thus the engine — is alive).
+  using StateProbe = std::function<std::vector<std::int64_t>()>;
+  void set_state_probe(Rank rank, StateProbe probe);
+  bool has_state_probe(Rank rank) const;
+  std::vector<std::int64_t> probe_state(Rank rank) const;
+
+  // -- ft::Host (callbacks from the reliable transport) ---------------------
+  void ft_deliver(Rank src, Rank dst, int tag, std::vector<std::byte> payload,
+                  Time sent_at, Time arrive_at) override;
+  void ft_count(Rank rank, ft::Stat stat) override;
+  void ft_price(Rank rank, Time ns) override;
+  void ft_abandoned(Rank src, std::size_t payload_bytes) override;
+  bool ft_rank_failed(Rank rank) const override { return failed_[rank] != 0; }
+  void ft_record_wire(Rank src, Rank dst, std::size_t bytes) override;
 
   /// Charge `ns` of explicitly modelled local computation to the rank,
   /// after any chaos straggler scaling. Returns the charged amount.
@@ -208,6 +258,13 @@ class Machine {
                      ReduceOp op, std::vector<std::int64_t>* result_out,
                      sim::Simulator::Parked parked);
 
+  /// ULFM-style failure agreement (MPIX_Comm_agree flavored): completes
+  /// once every *surviving* rank has arrived at the same sequence number —
+  /// a rank failing while others wait re-triggers completion — and
+  /// deposits the agreed failed-rank set into `result_out`.
+  void agree_arrive(Rank rank, std::vector<std::int64_t>* result_out,
+                    sim::Simulator::Parked parked);
+
   /// Install (or clear, with nullptr) the operation tracer.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
@@ -232,9 +289,11 @@ class Machine {
   struct WindowState;
   struct NeighborState;
   struct GlobalCollState;
+  struct AgreeState;
 
   void deliver(Message msg);
   void complete_neighbor_op(Rank rank, std::uint64_t seq);
+  void maybe_complete_agree(std::uint64_t seq);
 
   sim::Simulator& sim_;
   net::Network net_;
@@ -248,6 +307,11 @@ class Machine {
   std::vector<std::unique_ptr<WindowState>> windows_;
   std::unique_ptr<NeighborState> neighbor_;
   std::unique_ptr<GlobalCollState> global_;
+  std::unique_ptr<AgreeState> agree_;
+
+  /// Reliable transport (null unless enable_ft); declared after sim_/net_
+  /// and before the per-rank state it delivers into.
+  std::unique_ptr<ft::Transport> transport_;
 
   Tracer* tracer_ = nullptr;
   std::vector<CommCounters> counters_;
@@ -270,11 +334,17 @@ class Machine {
   /// construction; the auditor tolerates exactly these and nothing more.
   std::vector<std::uint64_t> dead_letter_msgs_;
   std::vector<std::size_t> dead_letter_bytes_;
+  std::vector<char> failed_;        // per rank, 1 = failed
+  std::vector<Rank> failed_ranks_;  // in failure order
+  std::vector<StateProbe> state_probes_;  // per rank, may be null
 
   bool audit_enabled_ = true;
   bool accounting_reset_ = false;  // relaxes window-vs-buffer audit
   std::uint64_t sent_payload_bytes_ = 0;
   std::uint64_t delivered_payload_bytes_ = 0;
+  /// Payload bytes whose delivery the transport abandoned because an
+  /// endpoint failed; conservation becomes sent == delivered + abandoned.
+  std::uint64_t abandoned_payload_bytes_ = 0;
   std::uint64_t puts_scheduled_ = 0;
   std::uint64_t puts_landed_ = 0;
 };

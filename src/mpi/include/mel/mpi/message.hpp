@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstring>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -56,10 +58,29 @@ std::span<const std::byte> bytes_of(const T& value) {
   return std::as_bytes(std::span<const T, 1>(&value, 1));
 }
 
-/// Deserialize a trivially-copyable record from bytes.
+/// Thrown when a received buffer cannot hold the record(s) a protocol
+/// tries to decode from it — a framing bug or memory corruption, never a
+/// tolerable condition, so deserialization fails loudly instead of reading
+/// out of bounds or silently truncating.
+class DeserializeError : public std::runtime_error {
+ public:
+  explicit DeserializeError(std::string what)
+      : std::runtime_error(std::move(what)) {}
+};
+
+/// Deserialize a trivially-copyable record from bytes. The buffer must
+/// hold exactly one record: every protocol in this codebase sends single
+/// PODs in their own messages or slices, so any other size is a bug.
 template <class T>
   requires std::is_trivially_copyable_v<T>
 T from_bytes(std::span<const std::byte> data) {
+  if (data.size() != sizeof(T)) {
+    throw DeserializeError(
+        "from_bytes: buffer holds " + std::to_string(data.size()) +
+        " byte(s) but the record needs exactly " + std::to_string(sizeof(T)) +
+        (data.size() < sizeof(T) ? " (truncated message)"
+                                 : " (oversized message)"));
+  }
   T value;
   std::memcpy(&value, data.data(), sizeof(T));
   return value;
@@ -69,14 +90,28 @@ T from_bytes(std::span<const std::byte> data) {
 template <class T>
   requires std::is_trivially_copyable_v<T>
 T nth_record(std::span<const std::byte> data, std::size_t i) {
+  if ((i + 1) * sizeof(T) > data.size()) {
+    throw DeserializeError(
+        "nth_record: record " + std::to_string(i) + " ends at byte " +
+        std::to_string((i + 1) * sizeof(T)) + " but the buffer holds only " +
+        std::to_string(data.size()) + " (truncated message)");
+  }
   T value;
   std::memcpy(&value, data.data() + i * sizeof(T), sizeof(T));
   return value;
 }
 
-/// Number of packed records of type T in a byte span.
+/// Number of packed records of type T in a byte span. The span must be an
+/// exact multiple of the record size.
 template <class T>
 std::size_t record_count(std::span<const std::byte> data) {
+  if (data.size() % sizeof(T) != 0) {
+    throw DeserializeError(
+        "record_count: buffer of " + std::to_string(data.size()) +
+        " byte(s) is not a whole number of " + std::to_string(sizeof(T)) +
+        "-byte records (" + std::to_string(data.size() % sizeof(T)) +
+        " trailing byte(s))");
+  }
   return data.size() / sizeof(T);
 }
 

@@ -77,6 +77,21 @@ struct Machine::GlobalCollState {
   std::map<std::uint64_t, Inst> insts;
 };
 
+struct Machine::AgreeState {
+  struct Waiter {
+    Rank rank = -1;
+    std::vector<std::int64_t>* out = nullptr;
+    sim::Simulator::Parked parked;
+  };
+  struct Inst {
+    int arrived = 0;
+    Time max_arrive = 0;
+    std::vector<Waiter> waiters;
+  };
+  std::vector<std::uint64_t> next_seq;  // per rank
+  std::map<std::uint64_t, Inst> insts;
+};
+
 // ---------------------------------------------------------------------------
 
 CommCounters& CommCounters::operator+=(const CommCounters& o) {
@@ -90,6 +105,13 @@ CommCounters& CommCounters::operator+=(const CommCounters& o) {
   neighbor_colls += o.neighbor_colls;
   allreduces += o.allreduces;
   barriers += o.barriers;
+  agrees += o.agrees;
+  retransmits += o.retransmits;
+  dropped += o.dropped;
+  corrupt_detected += o.corrupt_detected;
+  dup_filtered += o.dup_filtered;
+  acks += o.acks;
+  sends_failed += o.sends_failed;
   bytes_sent += o.bytes_sent;
   bytes_put += o.bytes_put;
   bytes_coll += o.bytes_coll;
@@ -134,7 +156,9 @@ Machine::Machine(sim::Simulator& simulator, net::Network network)
       inflight_sends_(net_.nranks(), 0),
       peak_inflight_sends_(net_.nranks(), 0),
       dead_letter_msgs_(net_.nranks(), 0),
-      dead_letter_bytes_(net_.nranks(), 0) {
+      dead_letter_bytes_(net_.nranks(), 0),
+      failed_(net_.nranks(), 0),
+      state_probes_(net_.nranks()) {
   if (net_.nranks() != sim_.nranks()) {
     throw std::invalid_argument("Machine: simulator/network rank mismatch");
   }
@@ -154,6 +178,17 @@ Machine::Machine(sim::Simulator& simulator, net::Network network)
   neighbor_->pending.resize(p);
   global_ = std::make_unique<GlobalCollState>();
   global_->next_seq.assign(p, 0);
+  agree_ = std::make_unique<AgreeState>();
+  agree_->next_seq.assign(p, 0);
+  // Scheduled fail-stop crashes: at the configured virtual time the rank is
+  // killed and the failure surfaced ULFM-style. A crash landing after the
+  // rank already returned is a no-op (handled inside handle_rank_failure).
+  if (chaos_) {
+    for (const auto& crash : net_.params().chaos.crashes) {
+      sim_.schedule(crash.at,
+                    [this, r = crash.rank] { handle_rank_failure(r); });
+    }
+  }
   sim_.set_stall_reporter([this](Rank r) { return rank_diagnostics(r); });
 }
 
@@ -267,6 +302,24 @@ void Machine::isend(Rank src, Rank dst, int tag,
   if (dst < 0 || dst >= nranks()) {
     throw std::invalid_argument("isend: bad destination rank");
   }
+  if (failed_[dst] != 0) {
+    // ULFM fail-fast (MPI_ERR_PROC_FAILED): the sender learns of the
+    // failure at the next communication with the dead rank. The error
+    // unwinds the rank coroutine and surfaces out of Simulator::run();
+    // the match driver catches it and recovers from the last checkpoint.
+    counters_[src].sends_failed += 1;
+    std::ostringstream os;
+    os << "isend: destination rank " << dst << " has failed (src=" << src
+       << " tag=" << tag << " " << data.size() << " B)";
+    throw RankFailedError(os.str());
+  }
+  if (transport_ == nullptr && chaos_ && net_.params().chaos.wire_faults()) {
+    throw std::logic_error(
+        "isend: chaos config injects wire faults (loss/duplication/"
+        "corruption) but the reliable transport is not enabled; call "
+        "Machine::enable_ft first — without it lost messages would "
+        "silently deadlock the run");
+  }
   const auto& p = net_.params();
   auto& c = counters_[src];
   c.isends += 1;
@@ -275,6 +328,18 @@ void Machine::isend(Rank src, Rank dst, int tag,
   const Time isend_start = sim_.rank_now(src);
   sim_.charge(src, p.o_send);
   trace_op(src, "isend", isend_start);
+
+  if (transport_ != nullptr) {
+    // Reliable path: the transport sequences, checksums, acks and (under
+    // chaos) retransmits; each wire copy is priced and recorded by the
+    // transport itself (ft_record_wire), including the first one.
+    sent_payload_bytes_ += data.size();
+    inflight_sends_[src] += 1;
+    peak_inflight_sends_[src] =
+        std::max(peak_inflight_sends_[src], inflight_sends_[src]);
+    transport_->send(src, dst, tag, data);
+    return;
+  }
   matrix_.record(src, dst, data.size() + kHeaderBytes);
 
   Time wire = net_.transfer_time(src, dst, data.size() + kHeaderBytes);
@@ -702,23 +767,174 @@ Time Machine::charge_compute(Rank rank, Time ns) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault tolerance: reliable transport, failure notification, agreement
+// ---------------------------------------------------------------------------
+
+void Machine::enable_ft(const ft::Params& params) {
+  if (transport_ != nullptr) {
+    throw std::logic_error("enable_ft: transport already enabled");
+  }
+  if (sent_payload_bytes_ != 0) {
+    throw std::logic_error("enable_ft: must be called before the first isend");
+  }
+  transport_ =
+      std::make_unique<ft::Transport>(*this, sim_, net_, chaos_.get(), params);
+}
+
+std::vector<Rank> Machine::failed_ranks() const {
+  std::vector<Rank> out = failed_ranks_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Machine::handle_rank_failure(Rank rank) {
+  if (rank < 0 || rank >= nranks()) {
+    throw std::out_of_range("handle_rank_failure: bad rank");
+  }
+  // A crash scheduled past the rank's clean exit is a non-event: the
+  // process already left the job. Repeat failures are idempotent.
+  if (sim_.rank_done(rank) || failed_[rank] != 0) return;
+  sim_.kill(rank);
+  failed_[rank] = 1;
+  failed_ranks_.push_back(rank);
+  if (transport_ != nullptr) transport_->on_rank_failed(rank);
+  // Survivors parked in a failure-agreement must not wait for the dead:
+  // every pending instance may now be complete.
+  std::vector<std::uint64_t> seqs;
+  for (const auto& [seq, inst] : agree_->insts) seqs.push_back(seq);
+  for (const std::uint64_t seq : seqs) maybe_complete_agree(seq);
+}
+
+void Machine::set_state_probe(Rank rank, StateProbe probe) {
+  state_probes_.at(rank) = std::move(probe);
+}
+
+bool Machine::has_state_probe(Rank rank) const {
+  return static_cast<bool>(state_probes_.at(rank));
+}
+
+std::vector<std::int64_t> Machine::probe_state(Rank rank) const {
+  const auto& probe = state_probes_.at(rank);
+  if (!probe) {
+    throw std::logic_error("probe_state: no probe registered for rank " +
+                           std::to_string(rank));
+  }
+  return probe();
+}
+
+void Machine::ft_deliver(Rank src, Rank dst, int tag,
+                         std::vector<std::byte> payload, Time sent_at,
+                         Time arrive_at) {
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.data = std::move(payload);
+  msg.sent_at = sent_at;
+  msg.arrived_at = arrive_at;
+  sim_.schedule(arrive_at, [this, src, m = std::move(msg)]() mutable {
+    inflight_sends_[src] -= 1;
+    deliver(std::move(m));
+  });
+}
+
+void Machine::ft_count(Rank rank, ft::Stat stat) {
+  auto& c = counters_[rank];
+  switch (stat) {
+    case ft::Stat::kRetransmit: c.retransmits += 1; break;
+    case ft::Stat::kDropped: c.dropped += 1; break;
+    case ft::Stat::kCorruptDetected: c.corrupt_detected += 1; break;
+    case ft::Stat::kDupFiltered: c.dup_filtered += 1; break;
+    case ft::Stat::kAck: c.acks += 1; break;
+  }
+}
+
+void Machine::ft_price(Rank rank, Time ns) {
+  // Transport work happens on the NIC/progress engine, asynchronously to
+  // the rank coroutine: it is priced into the rank's communication time
+  // but does not block its clock.
+  counters_[rank].comm_ns += ns;
+}
+
+void Machine::ft_abandoned(Rank src, std::size_t payload_bytes) {
+  inflight_sends_[src] -= 1;
+  abandoned_payload_bytes_ += payload_bytes;
+}
+
+void Machine::ft_record_wire(Rank src, Rank dst, std::size_t bytes) {
+  matrix_.record(src, dst, bytes);
+}
+
+void Machine::agree_arrive(Rank rank, std::vector<std::int64_t>* result_out,
+                           sim::Simulator::Parked parked) {
+  auto& st = *agree_;
+  sim_.charge(rank, net_.params().o_coll_base);
+  counters_[rank].agrees += 1;
+  const std::uint64_t seq = st.next_seq[rank]++;
+  auto& inst = st.insts[seq];
+  inst.arrived += 1;
+  inst.max_arrive = std::max(inst.max_arrive, sim_.rank_now(rank));
+  inst.waiters.push_back({rank, result_out, parked});
+  maybe_complete_agree(seq);
+}
+
+void Machine::maybe_complete_agree(std::uint64_t seq) {
+  auto& st = *agree_;
+  auto it = st.insts.find(seq);
+  if (it == st.insts.end()) return;
+  auto& inst = it->second;
+  // Count survivors still owing an arrival. A rank that arrived and then
+  // failed is covered either way: its waiter's wake is suppressed by the
+  // simulator, and it no longer blocks completion.
+  int outstanding = 0;
+  for (Rank r = 0; r < nranks(); ++r) {
+    if (failed_[r] != 0 || sim_.rank_done(r)) continue;
+    if (st.next_seq[r] <= seq) ++outstanding;
+  }
+  if (outstanding > 0) return;
+  const Time complete = inst.max_arrive + net_.reduction_time();
+  auto failed = std::make_shared<std::vector<std::int64_t>>();
+  for (Rank r = 0; r < nranks(); ++r) {
+    if (failed_[r] != 0) failed->push_back(r);
+  }
+  for (const auto& w : inst.waiters) {
+    if (w.out != nullptr) {
+      sim_.schedule(complete, [out = w.out, failed] { *out = *failed; });
+    }
+    sim_.wake(w.parked, complete);
+  }
+  st.insts.erase(it);
+}
+
+// ---------------------------------------------------------------------------
 // Invariant auditor
 // ---------------------------------------------------------------------------
 
 std::vector<std::string> Machine::audit() const {
   std::vector<std::string> violations;
   if (!audit_enabled_) return violations;
+  // A run with failed ranks tore coroutines mid-protocol: mailboxes,
+  // waiters and in-flight accounting legitimately reflect the wreckage.
+  // The driver re-validates the *result* after recovery instead.
+  if (!failed_ranks_.empty()) return violations;
   auto violate = [&violations](std::string text) {
     violations.push_back(std::move(text));
   };
 
   // Conservation: every payload byte posted by an isend was handed to a
-  // mailbox or a parked receiver, and no send is still in flight.
-  if (sent_payload_bytes_ != delivered_payload_bytes_) {
+  // mailbox or a parked receiver (or provably abandoned to a failed rank),
+  // and no send is still in flight.
+  if (sent_payload_bytes_ != delivered_payload_bytes_ + abandoned_payload_bytes_) {
     std::ostringstream os;
     os << "p2p byte conservation: " << sent_payload_bytes_
        << " payload bytes sent but " << delivered_payload_bytes_
-       << " delivered";
+       << " delivered + " << abandoned_payload_bytes_ << " abandoned";
+    violate(os.str());
+  }
+  if (transport_ != nullptr && !transport_->idle()) {
+    std::ostringstream os;
+    os << "reliable transport finalized busy: " << transport_->pending_segments()
+       << " unacknowledged segment(s) or non-empty reorder buffers";
     violate(os.str());
   }
   if (puts_scheduled_ != puts_landed_) {
@@ -822,7 +1038,16 @@ void Machine::audit_or_throw() const {
 std::string Machine::rank_diagnostics(Rank rank) const {
   std::ostringstream os;
   const auto& box = *mailboxes_[rank];
+  if (failed_[rank] != 0) os << "FAILED ";
   bool parked = false;
+  for (const auto& [seq, inst] : agree_->insts) {
+    for (const auto& w : inst.waiters) {
+      if (w.rank != rank) continue;
+      parked = true;
+      os << "parked=agree(seq=" << seq << " arrived=" << inst.arrived << '/'
+         << (nranks() - static_cast<int>(failed_ranks_.size())) << ") ";
+    }
+  }
   for (const RecvTicket* t : box.waiters) {
     parked = true;
     os << "parked=" << (t->peek_only ? "wait_message(" : "recv(") << "src=";
@@ -870,6 +1095,9 @@ std::string Machine::rank_diagnostics(Rank rank) const {
      << "B inflight_sends=" << inflight_sends_[rank]
      << " next_nbr_seq=" << neighbor_->next_seq[rank]
      << " next_coll_seq=" << global_->next_seq[rank];
+  if (transport_ != nullptr) {
+    os << " ft_pending=" << transport_->pending_segments();
+  }
   return os.str();
 }
 

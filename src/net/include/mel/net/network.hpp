@@ -43,6 +43,7 @@ struct Params {
   Time o_send = 400;    // MPI_Isend: match queue + descriptor + tag handling
   Time o_recv = 350;    // MPI_Recv of an already-arrived message
   Time o_iprobe = 150;  // MPI_Iprobe poll
+  Time o_ack = 120;     // transport-level ack post (mel::ft; NIC-side work)
 
   /// User-side per-message handling in the unaggregated Send-Recv path
   /// (tag decode, one-at-a-time dispatch). Charged as *compute*: this is

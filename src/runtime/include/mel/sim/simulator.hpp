@@ -41,6 +41,15 @@ class WatchdogError : public std::runtime_error {
   explicit WatchdogError(std::string what) : std::runtime_error(std::move(what)) {}
 };
 
+/// Thrown by Simulator::run() when the event queue drains with surviving
+/// ranks still suspended *and* at least one rank was killed: the survivors
+/// are blocked on a dead peer, not deadlocked among themselves. Callers
+/// that configured crashes catch this and run recovery.
+class RankFailure : public std::runtime_error {
+ public:
+  explicit RankFailure(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
 class Simulator {
  public:
   explicit Simulator(int nranks);
@@ -102,6 +111,28 @@ class Simulator {
   /// Internal: called by RankTask final awaiter.
   void mark_done(Rank rank) { ranks_[rank].done = true; }
 
+  // -- Fail-stop crashes ----------------------------------------------------
+
+  /// Kill a rank: its coroutine is never resumed again (every pending or
+  /// future wake() for it is suppressed) and it no longer counts as stuck
+  /// when the queue drains. Models a fail-stop process crash; the MPI
+  /// Machine layers ULFM-style failure notification on top.
+  void kill(Rank rank);
+
+  /// True if the rank was killed (fail-stop), as opposed to done.
+  bool rank_crashed(Rank rank) const { return ranks_[rank].crashed; }
+  int crashed_count() const { return crashed_; }
+
+  // -- Periodic run-loop hook (checkpointing) -------------------------------
+
+  /// Invoke `hook(k * interval)` from the run loop just before executing
+  /// the first event at virtual time >= k * interval, for every k >= 1.
+  /// Unlike a self-rescheduling queue event this cannot keep the queue
+  /// alive (which would mask deadlocks and crash detection). The hook must
+  /// not schedule events. interval <= 0 or a null hook clears it.
+  using PeriodicHook = std::function<void(Time)>;
+  void set_periodic_hook(Time interval, PeriodicHook hook);
+
   /// Sum of final local clocks; the simulated "job time" is the max.
   Time max_rank_time() const;
 
@@ -146,6 +177,7 @@ class Simulator {
     Time last_resume = 0;
     bool done = false;
     bool started = false;
+    bool crashed = false;
   };
 
   std::vector<RankState> ranks_;
@@ -154,6 +186,10 @@ class Simulator {
   Time now_ = 0;
   Time horizon_ = 0;
   StallReporter reporter_;
+  PeriodicHook hook_;
+  Time hook_interval_ = 0;
+  Time next_hook_at_ = 0;
+  int crashed_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
 };

@@ -31,6 +31,7 @@ void Simulator::spawn(Rank rank, RankTask task) {
   // Kick the coroutine off at virtual time 0.
   schedule(0, [this, rank] {
     auto& st = ranks_[rank];
+    if (st.crashed) return;
     st.started = true;
     st.clock = std::max<Time>(st.clock, 0);
     st.last_resume = 0;
@@ -46,11 +47,36 @@ void Simulator::schedule(Time t, std::function<void()> fn) {
 void Simulator::wake(const Parked& parked, Time t) {
   schedule(t, [this, parked, t] {
     auto& st = ranks_[parked.rank];
+    // A killed rank is never resumed: its coroutine stays frozen at the
+    // suspension point forever (fail-stop), frame destroyed at shutdown.
+    if (st.crashed) return;
     st.clock = std::max(st.clock, t);
     st.last_resume = t;
     parked.handle.resume();
     note_rank_error(parked.rank);
   });
+}
+
+void Simulator::kill(Rank rank) {
+  if (rank < 0 || rank >= nranks()) {
+    throw std::out_of_range("Simulator::kill: bad rank");
+  }
+  auto& st = ranks_[rank];
+  if (st.crashed || st.done) return;
+  st.crashed = true;
+  ++crashed_;
+}
+
+void Simulator::set_periodic_hook(Time interval, PeriodicHook hook) {
+  if (interval <= 0 || !hook) {
+    hook_ = nullptr;
+    hook_interval_ = 0;
+    next_hook_at_ = 0;
+    return;
+  }
+  hook_ = std::move(hook);
+  hook_interval_ = interval;
+  next_hook_at_ = interval;
 }
 
 void Simulator::note_rank_error(Rank rank) {
@@ -66,6 +92,12 @@ void Simulator::run() {
     // priority_queue::top returns const&; the event is move-only in spirit,
     // so copy out the pieces before popping.
     const Event& top = queue_.top();
+    // Fire the periodic hook for every boundary the next event crosses.
+    // The hook must not schedule events, so `top` stays valid.
+    while (hook_ && top.t >= next_hook_at_) {
+      hook_(next_hook_at_);
+      next_hook_at_ += hook_interval_;
+    }
     if (horizon_ > 0 && top.t > horizon_) {
       std::ostringstream os;
       os << "watchdog: next event at t=" << top.t
@@ -84,10 +116,21 @@ void Simulator::run() {
   }
   int stuck = 0;
   for (Rank r = 0; r < nranks(); ++r) {
-    if (ranks_[r].task.valid() && !ranks_[r].done) ++stuck;
+    if (ranks_[r].task.valid() && !ranks_[r].done && !ranks_[r].crashed) {
+      ++stuck;
+    }
   }
   if (stuck > 0) {
     std::ostringstream os;
+    if (crashed_ > 0) {
+      // Survivors are blocked on a dead peer: that is a rank failure to
+      // recover from, not a protocol deadlock.
+      os << "rank failure at t=" << now_ << "ns: " << crashed_
+         << " rank(s) crashed and the event queue drained with " << stuck
+         << " survivor(s) still suspended\n"
+         << progress_report();
+      throw RankFailure(os.str());
+    }
     os << "simulation deadlock at t=" << now_
        << "ns: event queue drained with " << stuck << " rank(s) stuck\n"
        << progress_report();
@@ -107,6 +150,7 @@ std::string Simulator::progress_report() const {
     }
     os << "  rank " << r << ": clock=" << st.clock << "ns last_resume="
        << st.last_resume << "ns";
+    if (st.crashed) os << " CRASHED";
     if (!st.task.valid()) {
       os << " never_spawned";
     } else if (!st.started) {

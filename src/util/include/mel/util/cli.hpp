@@ -24,6 +24,10 @@ class Cli {
   /// Positional (non-option) arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every `--name` that was passed, sorted; lets a program reject
+  /// options it does not know about instead of silently ignoring typos.
+  std::vector<std::string> option_names() const;
+
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }
 

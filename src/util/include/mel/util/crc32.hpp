@@ -1,0 +1,38 @@
+// Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the reliable transport (mel::ft) as the per-segment payload
+// checksum: CRC-32 detects every single-byte error and every burst up to
+// 32 bits, so the transport's deterministic one-byte corruption fault is
+// always caught. Known-answer vectors are pinned in tests/util.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mel::util {
+
+/// Continue a CRC-32 over `data` from a previous partial value (as
+/// returned by crc32_init / a previous crc32_update call).
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::byte> data);
+
+/// Initial state for an incremental computation.
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+/// Finalize an incremental computation.
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte span.
+inline std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+/// Convenience overload for text (tests, known-answer vectors).
+inline std::uint32_t crc32(std::string_view text) {
+  return crc32(std::as_bytes(std::span<const char>(text.data(), text.size())));
+}
+
+}  // namespace mel::util

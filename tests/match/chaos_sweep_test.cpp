@@ -89,6 +89,26 @@ TEST(ChaosSweep, StragglersStretchSimulatedTime) {
   EXPECT_EQ(slow.matching.mate, clean.matching.mate);
 }
 
+TEST(ChaosSweep, ZeroFaultKnobsAreBitIdenticalToNoChaos) {
+  // A chaos config whose every knob is zero (even with a nonzero seed) and
+  // default ft::Params must not change a single scheduling decision: the
+  // engine and the transport stay out of the path entirely.
+  const auto g = gen::erdos_renyi(400, 2400, 13);
+  const auto clean = run_match(g, 8, Model::kNsr);
+  RunConfig cfg;
+  cfg.net.chaos.seed = 4242;  // seed alone enables nothing
+  cfg.net.chaos.loss = 0.0;
+  cfg.net.chaos.duplication = 0.0;
+  cfg.net.chaos.corruption = 0.0;
+  const auto run = run_match(g, 8, Model::kNsr, cfg);
+  EXPECT_EQ(run.time, clean.time);
+  EXPECT_EQ(run.totals.isends, clean.totals.isends);
+  EXPECT_EQ(run.totals.comm_ns, clean.totals.comm_ns);
+  EXPECT_EQ(run.totals.retransmits, 0u);
+  EXPECT_EQ(run.totals.acks, 0u);
+  EXPECT_EQ(run.matching.mate, clean.matching.mate);
+}
+
 TEST(ChaosSweep, WatchdogHorizonCutsOffLongRuns) {
   const auto g = gen::erdos_renyi(400, 2400, 13);
   RunConfig cfg;

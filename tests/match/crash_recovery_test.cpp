@@ -1,0 +1,147 @@
+// Rank-crash checkpoint/recovery (ISSUE acceptance): a fail-stop crash
+// mid-run rolls back to the last checkpoint, invalidates matches incident
+// to the dead rank, re-matches the surviving subgraph, and the final
+// matching is valid and maximal on the subgraph induced by surviving
+// ranks' vertices.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mel/gen/generators.hpp"
+#include "mel/match/driver.hpp"
+#include "mel/match/verify.hpp"
+
+namespace mel::match {
+namespace {
+
+constexpr int kRanks = 6;
+
+/// Matching validity restricted to survivors: no vertex owned by a failed
+/// rank is matched, and no edge between two surviving unmatched endpoints
+/// with positive weight remains (maximality on the surviving subgraph).
+void expect_valid_on_survivors(const graph::Csr& g,
+                               const graph::Distribution& dist,
+                               const std::vector<VertexId>& mate,
+                               const std::vector<Rank>& failed) {
+  std::vector<char> dead_rank(static_cast<std::size_t>(kRanks), 0);
+  for (const Rank r : failed) dead_rank[static_cast<std::size_t>(r)] = 1;
+  auto dead = [&](VertexId v) {
+    return dead_rank[static_cast<std::size_t>(dist.owner(v))] != 0;
+  };
+  ASSERT_TRUE(is_valid_matching(g, mate));
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    if (dead(v)) {
+      EXPECT_EQ(mate[v], kNullVertex) << "dead-rank vertex " << v << " matched";
+    }
+  }
+  for (VertexId v = 0; v < g.nverts(); ++v) {
+    if (dead(v) || mate[v] != kNullVertex) continue;
+    for (const auto& a : g.neighbors(v)) {
+      if (a.w <= 0 || dead(a.to)) continue;
+      EXPECT_NE(mate[a.to], kNullVertex)
+          << "edge (" << v << "," << a.to << ") joins two unmatched survivors";
+    }
+  }
+}
+
+TEST(CrashRecovery, MidRunCrashRollsBackAndRematches) {
+  const auto g = gen::erdos_renyi(600, 3600, 17);
+  const graph::DistGraph dg(g, kRanks);
+  for (const Model m : {Model::kNsr, Model::kNcl}) {
+    const auto clean = run_match(g, kRanks, m);
+    RunConfig cfg;
+    cfg.net.chaos.crashes.push_back({/*rank=*/2, /*at=*/clean.time / 2});
+    cfg.ft.checkpoint_ns = clean.time / 10;
+    const auto run = run_match(g, kRanks, m, cfg);
+    EXPECT_EQ(run.failed_ranks, std::vector<Rank>{2}) << model_name(m);
+    EXPECT_EQ(run.recoveries, 1) << model_name(m);
+    expect_valid_on_survivors(g, dg.dist(), run.matching.mate,
+                              run.failed_ranks);
+    // The recovered matching can only lose weight relative to fault-free
+    // (a whole rank's vertices left the graph), never gain.
+    EXPECT_LE(run.matching.weight, clean.matching.weight) << model_name(m);
+    EXPECT_GT(run.matching.cardinality, 0) << model_name(m);
+  }
+}
+
+TEST(CrashRecovery, CrashRunsAreReproducible) {
+  const auto g = gen::erdos_renyi(600, 3600, 17);
+  const auto clean = run_match(g, kRanks, Model::kNsr);
+  RunConfig cfg;
+  cfg.net.chaos.crashes.push_back({2, clean.time / 2});
+  cfg.ft.checkpoint_ns = clean.time / 10;
+  const auto a = run_match(g, kRanks, Model::kNsr, cfg);
+  const auto b = run_match(g, kRanks, Model::kNsr, cfg);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.matching.mate, b.matching.mate);
+  EXPECT_EQ(a.matching.weight, b.matching.weight);
+}
+
+TEST(CrashRecovery, CrashScheduledPastCompletionIsANoop) {
+  const auto g = gen::erdos_renyi(600, 3600, 17);
+  const auto clean = run_match(g, kRanks, Model::kNsr);
+  RunConfig cfg;
+  cfg.net.chaos.crashes.push_back({2, clean.time * 4});
+  cfg.ft.checkpoint_ns = clean.time / 10;
+  const auto run = run_match(g, kRanks, Model::kNsr, cfg);
+  EXPECT_TRUE(run.failed_ranks.empty());
+  EXPECT_EQ(run.recoveries, 0);
+  EXPECT_DOUBLE_EQ(run.matching.weight, clean.matching.weight);
+}
+
+TEST(CrashRecovery, RecoveryWorksWithoutAnyCheckpoint) {
+  // checkpoint_ns = 0: nothing durable, so recovery re-matches the whole
+  // surviving subgraph from scratch — slower, still correct.
+  const auto g = gen::erdos_renyi(600, 3600, 17);
+  const graph::DistGraph dg(g, kRanks);
+  const auto clean = run_match(g, kRanks, Model::kNsr);
+  RunConfig cfg;
+  cfg.net.chaos.crashes.push_back({2, clean.time / 2});
+  const auto run = run_match(g, kRanks, Model::kNsr, cfg);
+  EXPECT_EQ(run.failed_ranks, std::vector<Rank>{2});
+  EXPECT_EQ(run.recoveries, 1);
+  expect_valid_on_survivors(g, dg.dist(), run.matching.mate, run.failed_ranks);
+}
+
+TEST(CrashRecovery, CrashesUnderWireFaultsStillRecover) {
+  const auto g = gen::erdos_renyi(600, 3600, 17);
+  const graph::DistGraph dg(g, kRanks);
+  const auto clean = run_match(g, kRanks, Model::kNsr);
+  RunConfig cfg;
+  cfg.net.chaos.seed = 31;
+  cfg.net.chaos.loss = 0.05;
+  cfg.net.chaos.duplication = 0.02;
+  cfg.net.chaos.crashes.push_back({2, clean.time / 2});
+  cfg.ft.checkpoint_ns = clean.time / 10;
+  const auto run = run_match(g, kRanks, Model::kNsr, cfg);
+  EXPECT_EQ(run.failed_ranks, std::vector<Rank>{2});
+  expect_valid_on_survivors(g, dg.dist(), run.matching.mate, run.failed_ranks);
+}
+
+TEST(CrashRecovery, DistGraphOverloadRejectsScheduledCrashes) {
+  // Recovery needs the global graph to rebuild the surviving subgraph;
+  // the prebuilt-distribution overload refuses with a named error.
+  const auto g = gen::erdos_renyi(200, 1200, 3);
+  const graph::DistGraph dg(g, 4);
+  RunConfig cfg;
+  cfg.net.chaos.crashes.push_back({1, 1000});
+  EXPECT_THROW(run_match(dg, Model::kNsr, cfg), std::invalid_argument);
+}
+
+TEST(CrashRecovery, FtParamsAreValidated) {
+  const auto g = gen::erdos_renyi(100, 500, 3);
+  auto expect_rejected = [&](auto mutate) {
+    RunConfig cfg;
+    mutate(cfg.ft);
+    EXPECT_THROW(run_match(g, 4, Model::kNsr, cfg), std::invalid_argument);
+  };
+  expect_rejected([](ft::Params& p) { p.retry_max = -1; });
+  expect_rejected([](ft::Params& p) { p.retry_max = 65; });
+  expect_rejected([](ft::Params& p) { p.rto_base = 0; });
+  expect_rejected([](ft::Params& p) { p.rto_backoff = 0.5; });
+  expect_rejected([](ft::Params& p) { p.rto_jitter = 1.5; });
+  expect_rejected([](ft::Params& p) { p.checkpoint_ns = -1; });
+}
+
+}  // namespace
+}  // namespace mel::match

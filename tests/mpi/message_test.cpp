@@ -1,0 +1,63 @@
+// Deserialization hardening: a truncated, oversized, or ragged buffer
+// must raise a named DeserializeError instead of reading out of bounds or
+// silently truncating (a transport or framing bug should fail loudly).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mel/mpi/message.hpp"
+
+namespace mel::mpi {
+namespace {
+
+TEST(MessageCodec, RoundTripsPod) {
+  struct Pod {
+    std::int64_t a;
+    double b;
+  };
+  const Pod in{42, 2.5};
+  const auto bytes = to_bytes(in);
+  const Pod out = from_bytes<Pod>(bytes);
+  EXPECT_EQ(out.a, 42);
+  EXPECT_EQ(out.b, 2.5);
+}
+
+TEST(MessageCodec, FromBytesRejectsTruncatedBuffer) {
+  const std::vector<std::byte> four(4);
+  EXPECT_THROW(from_bytes<std::int64_t>(four), DeserializeError);
+  try {
+    (void)from_bytes<std::int64_t>(four);
+    FAIL() << "expected DeserializeError";
+  } catch (const DeserializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(MessageCodec, FromBytesRejectsOversizedBuffer) {
+  const std::vector<std::byte> twelve(12);
+  EXPECT_THROW(from_bytes<std::int64_t>(twelve), DeserializeError);
+  try {
+    (void)from_bytes<std::int64_t>(twelve);
+    FAIL() << "expected DeserializeError";
+  } catch (const DeserializeError& e) {
+    EXPECT_NE(std::string(e.what()).find("oversized"), std::string::npos);
+  }
+}
+
+TEST(MessageCodec, NthRecordBoundsChecked) {
+  const auto bytes = to_bytes(std::int32_t{7});  // exactly one record
+  EXPECT_EQ(nth_record<std::int32_t>(bytes, 0), 7);
+  EXPECT_THROW(nth_record<std::int32_t>(bytes, 1), DeserializeError);
+  EXPECT_THROW(nth_record<std::int64_t>(bytes, 0), DeserializeError);
+}
+
+TEST(MessageCodec, RecordCountRejectsRaggedBuffer) {
+  std::vector<std::byte> bytes(3 * sizeof(std::int32_t));
+  EXPECT_EQ(record_count<std::int32_t>(bytes), 3u);
+  bytes.push_back(std::byte{0});  // one trailing byte
+  EXPECT_THROW(record_count<std::int32_t>(bytes), DeserializeError);
+}
+
+}  // namespace
+}  // namespace mel::mpi

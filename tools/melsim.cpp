@@ -4,30 +4,13 @@
 //   melsim --algo match --model NCL --ranks 64 --dataset Orkut-like
 //   melsim --algo match --model RMA --ranks 32 --mtx path/to/graph.mtx
 //   melsim --algo bfs   --model NSR --ranks 16 --gen rmat --gen-scale 14
-//   melsim --algo color --model NCL --ranks 64 --gen er --verts 20000
+//   melsim --algo match --model NSR --fault-loss 0.05 --fault-crash 2@40000000
 //
-// Options:
-//   --algo match|bfs|color          (default match)
-//   --model NSR|RMA|NCL|MBP|NSR-AGG|RMA-FENCE|NCL-NB   (default NCL)
-//   --ranks P                       simulated MPI ranks (default 64)
-//   input (one of):
-//     --dataset <Table II id>  [--scale N]
-//     --mtx <file.mtx> | --bin <file.melg>
-//     --gen rmat|rgg|er|ba|ws|sbp|chunglu  with --verts/--edges/--gen-scale
-//   --rcm                           apply RCM reordering first
-//   --edge-balance                  edge-balanced 1D partition (match only)
-//   --trace out.json                write a Chrome/Perfetto trace
-//   --matrix out.csv                write the comm matrix (bytes) as CSV
-//   --csv                           machine-readable one-line summary
-//   chaos / hardening:
-//   --chaos-seed S                  fault-injection seed (default 1)
-//   --chaos-jitter F                per-message latency jitter fraction
-//   --chaos-stragglers K            number of slowed ranks
-//   --chaos-straggler-slow X        compute slowdown factor for stragglers
-//   --chaos-coll-skew NS            max per-rank collective entry skew (ns)
-//   --watchdog-horizon NS           abort if virtual time exceeds NS (0=off)
-//   --no-audit                      disable finalize-time invariant audits
+// Run `melsim --help` for the full option list. Unknown options are
+// rejected (exit 2) instead of silently ignored.
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "mel/bfs/bfs.hpp"
@@ -47,6 +30,73 @@ using namespace mel;
 
 namespace {
 
+struct Flag {
+  const char* name;  // without the leading "--"
+  const char* arg;   // metavar, or "" for boolean flags
+  const char* help;
+};
+
+// Every option melsim understands. --help prints this table and anything
+// not in it is rejected up front, so a typo'd knob can never silently run
+// the unperturbed configuration.
+constexpr Flag kFlags[] = {
+    {"help", "", "print this option list and exit"},
+    {"algo", "match|bfs|color", "algorithm to run (default match)"},
+    {"model", "NSR|RMA|NCL|MBP|NSR-AGG|RMA-FENCE|NCL-NB",
+     "communication model (default NCL)"},
+    {"ranks", "P", "simulated MPI ranks (default 64)"},
+    {"dataset", "ID", "build a Table II dataset by id"},
+    {"scale", "N", "dataset scale override"},
+    {"mtx", "FILE", "load a Matrix Market graph"},
+    {"bin", "FILE", "load a binary .melg graph"},
+    {"gen", "rmat|rgg|er|ba|ws|sbp|chunglu", "synthetic generator"},
+    {"verts", "N", "generator vertex count"},
+    {"edges", "M", "generator edge count"},
+    {"gen-scale", "N", "rmat scale (default 14)"},
+    {"seed", "S", "generator seed (default 1)"},
+    {"root", "V", "bfs root vertex (default 0)"},
+    {"rcm", "", "apply RCM reordering first"},
+    {"edge-balance", "", "edge-balanced 1D partition (match only)"},
+    {"trace", "FILE", "write a Chrome/Perfetto trace"},
+    {"matrix", "FILE", "write the comm matrix (bytes) as CSV"},
+    {"csv", "", "machine-readable one-line summary"},
+    {"chaos-seed", "S", "fault-injection seed (default 1)"},
+    {"chaos-jitter", "F", "per-message latency jitter fraction"},
+    {"chaos-stragglers", "K", "number of slowed ranks"},
+    {"chaos-straggler-slow", "X", "compute slowdown factor for stragglers"},
+    {"chaos-coll-skew", "NS", "max per-rank collective entry skew (ns)"},
+    {"fault-loss", "P", "per-copy wire loss probability (needs mel::ft)"},
+    {"fault-dup", "P", "per-copy wire duplication probability"},
+    {"fault-corrupt", "P", "per-copy payload corruption probability"},
+    {"fault-crash", "R@NS[,R@NS...]",
+     "fail-stop crash of rank R at virtual time NS"},
+    {"ft", "", "force the reliable ack/retransmit transport on"},
+    {"ft-retry-max", "K", "max retransmits before giving up (default 16)"},
+    {"ft-checkpoint-ns", "N",
+     "checkpoint interval for crash recovery, in virtual ns (0=off)"},
+    {"watchdog-horizon", "NS", "abort if virtual time exceeds NS (0=off)"},
+    {"no-audit", "", "disable finalize-time invariant audits"},
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: melsim [--option value ...]\n"
+               "run one algorithm x input x communication model combination "
+               "on the simulated machine.\n\noptions:\n");
+  for (const Flag& f : kFlags) {
+    std::string left = std::string("--") + f.name;
+    if (f.arg[0] != '\0') left += std::string(" ") + f.arg;
+    std::fprintf(out, "  %-42s %s\n", left.c_str(), f.help);
+  }
+}
+
+bool known_flag(const std::string& name) {
+  for (const Flag& f : kFlags) {
+    if (name == f.name) return true;
+  }
+  return false;
+}
+
 match::Model parse_model(const std::string& name) {
   for (const auto m :
        {match::Model::kNsr, match::Model::kRma, match::Model::kNcl,
@@ -55,6 +105,29 @@ match::Model parse_model(const std::string& name) {
     if (name == match::model_name(m)) return m;
   }
   throw std::invalid_argument("unknown model: " + name);
+}
+
+/// Parse "R@NS[,R@NS...]" into scheduled fail-stop crashes.
+std::vector<chaos::Config::Crash> parse_crashes(const std::string& text) {
+  std::vector<chaos::Config::Crash> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    auto comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string piece = text.substr(pos, comma - pos);
+    const auto at = piece.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= piece.size()) {
+      throw std::invalid_argument("--fault-crash: expected R@NS, got \"" +
+                                  piece + "\"");
+    }
+    chaos::Config::Crash c;
+    c.rank = static_cast<sim::Rank>(std::strtoll(piece.c_str(), nullptr, 10));
+    c.at = static_cast<sim::Time>(
+        std::strtoll(piece.c_str() + at + 1, nullptr, 10));
+    out.push_back(c);
+    pos = comma + 1;
+  }
+  return out;
 }
 
 graph::Csr load_graph(const util::Cli& cli) {
@@ -83,10 +156,7 @@ graph::Csr load_graph(const util::Cli& cli) {
   throw std::invalid_argument("unknown generator: " + kind);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv);
+int run(const util::Cli& cli) {
   const std::string algo = cli.get("algo", "match");
   const auto model = parse_model(cli.get("model", "NCL"));
   const int ranks = static_cast<int>(cli.get_int("ranks", 64));
@@ -115,6 +185,17 @@ int main(int argc, char** argv) {
   cfg.net.chaos.straggler_slowdown = cli.get_double("chaos-straggler-slow", 1.0);
   cfg.net.chaos.collective_skew =
       static_cast<sim::Time>(cli.get_int("chaos-coll-skew", 0));
+  cfg.net.chaos.loss = cli.get_double("fault-loss", 0.0);
+  cfg.net.chaos.duplication = cli.get_double("fault-dup", 0.0);
+  cfg.net.chaos.corruption = cli.get_double("fault-corrupt", 0.0);
+  if (cli.has("fault-crash")) {
+    cfg.net.chaos.crashes = parse_crashes(cli.get("fault-crash", ""));
+  }
+  cfg.ft.enabled = cli.get_bool("ft", false);
+  cfg.ft.retry_max =
+      static_cast<int>(cli.get_int("ft-retry-max", cfg.ft.retry_max));
+  cfg.ft.checkpoint_ns =
+      static_cast<sim::Time>(cli.get_int("ft-checkpoint-ns", cfg.ft.checkpoint_ns));
 
   if (algo == "match") {
     match::RunResult run;
@@ -140,6 +221,27 @@ int main(int argc, char** argv) {
                   "MPI%%=%.1f\n",
                   valid ? "yes" : "NO", memory.avg_mb_per_rank(),
                   energy.node_energy_kj, energy.comp_pct, energy.mpi_pct);
+      const auto& t = run.totals;
+      if (t.retransmits != 0 || t.dropped != 0 || t.corrupt_detected != 0 ||
+          t.dup_filtered != 0 || t.acks != 0) {
+        std::printf("ft: retransmits=%llu dropped=%llu corrupt=%llu "
+                    "dup_filtered=%llu acks=%llu\n",
+                    static_cast<unsigned long long>(t.retransmits),
+                    static_cast<unsigned long long>(t.dropped),
+                    static_cast<unsigned long long>(t.corrupt_detected),
+                    static_cast<unsigned long long>(t.dup_filtered),
+                    static_cast<unsigned long long>(t.acks));
+      }
+      if (!run.failed_ranks.empty()) {
+        std::string list;
+        for (const auto r : run.failed_ranks) {
+          if (!list.empty()) list += ",";
+          list += std::to_string(r);
+        }
+        std::printf("faults: failed_ranks=[%s] recoveries=%d  (matching "
+                    "covers surviving ranks only)\n",
+                    list.c_str(), run.recoveries);
+      }
     }
     if (cli.has("matrix") && run.matrix != nullptr) {
       std::FILE* f = std::fopen(cli.get("matrix", "").c_str(), "w");
@@ -178,4 +280,29 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    print_usage(stdout);
+    return 0;
+  }
+  for (const std::string& name : cli.option_names()) {
+    if (!known_flag(name)) {
+      std::fprintf(stderr,
+                   "melsim: unknown option --%s (run `%s --help` for the "
+                   "full list)\n",
+                   name.c_str(), cli.program().c_str());
+      return 2;
+    }
+  }
+  try {
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "melsim: %s\n", e.what());
+    return 2;
+  }
 }
