@@ -3,7 +3,23 @@
 // neighborhood collectives, and the end-to-end matcher. These guard
 // against host-performance regressions (the table/figure benches above
 // measure *simulated* time; these measure wall time per simulated op).
+//
+// Two modes:
+//   bench_micro_substrate [gbench flags]   - interactive google-benchmark
+//   bench_micro_substrate --json FILE      - machine-readable suite: fixed
+//       workloads (event loop, 1K-rank ring exchange, 1K-rank neighborhood
+//       collective, one end-to-end match per backend) emitting events/sec,
+//       messages/sec, host wall seconds and peak RSS as JSON. CI uploads
+//       this as BENCH_substrate.json and compares events/sec against the
+//       committed floor in bench/substrate_floor.json.
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "mel/mpi/machine.hpp"
@@ -106,6 +122,180 @@ BENCHMARK(BM_DistMatchEndToEnd)
     ->Arg(static_cast<int>(match::Model::kRma))
     ->Arg(static_cast<int>(match::Model::kNcl));
 
+// ---------------------------------------------------------------------------
+// --json suite: fixed workloads, machine-readable output
+// ---------------------------------------------------------------------------
+
+struct SuiteRow {
+  std::string name;
+  std::uint64_t events = 0;    // simulator events executed
+  std::uint64_t messages = 0;  // application-level messages moved
+  double wall_s = 0.0;         // host wall time
+};
+
+std::size_t peak_rss_bytes() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+sim::RankTask ring_exchange(mpi::Comm& c, int rounds) {
+  const int p = c.size();
+  const sim::Rank next = (c.rank() + 1) % p;
+  const sim::Rank prev = (c.rank() + p - 1) % p;
+  for (int i = 0; i < rounds; ++i) {
+    c.isend_pod<std::int64_t>(next, 0, i);
+    (void)co_await c.recv(prev, 0);
+  }
+  co_return;
+}
+
+/// Pure event-queue throughput: one rank, a large batch of pre-scheduled
+/// closure events (the shape Simulator::schedule sees from every wake).
+SuiteRow suite_event_loop() {
+  constexpr int kEvents = 1 << 18;
+  SuiteRow row;
+  row.name = "event_loop";
+  sim::Simulator s(1);
+  std::uint64_t sink = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    s.schedule(i / 4, [&sink] { ++sink; });  // 4-way same-timestamp batches
+  }
+  struct Noop {
+    static sim::RankTask make() { co_return; }
+  };
+  s.spawn(0, Noop::make());
+  const WallTimer t;
+  s.run();
+  row.wall_s = t.seconds();
+  benchmark::DoNotOptimize(sink);
+  row.events = s.events_executed();
+  return row;
+}
+
+/// 1K simulated ranks exchanging point-to-point messages around a ring —
+/// the headline events/sec workload the perf floor tracks.
+SuiteRow suite_ring_1k() {
+  constexpr int kRanks = 1024;
+  constexpr int kRounds = 48;
+  SuiteRow row;
+  row.name = "ring_1k";
+  sim::Simulator s(kRanks);
+  mpi::Machine m(s, net::Network(kRanks, net::Params{}));
+  for (sim::Rank r = 0; r < kRanks; ++r) {
+    s.spawn(r, ring_exchange(m.comm(r), kRounds));
+  }
+  const WallTimer t;
+  s.run();
+  row.wall_s = t.seconds();
+  row.events = s.events_executed();
+  row.messages = static_cast<std::uint64_t>(kRanks) * kRounds;
+  return row;
+}
+
+/// 1K simulated ranks in a ring process topology exchanging neighborhood
+/// collectives (2 neighbors each).
+SuiteRow suite_neighbor_1k() {
+  constexpr int kRanks = 1024;
+  constexpr int kRounds = 32;
+  SuiteRow row;
+  row.name = "neighbor_1k";
+  sim::Simulator s(kRanks);
+  mpi::Machine m(s, net::Network(kRanks, net::Params{}));
+  for (sim::Rank r = 0; r < kRanks; ++r) {
+    m.set_topology(r, {(r + 1) % kRanks, (r + kRanks - 1) % kRanks});
+  }
+  for (sim::Rank r = 0; r < kRanks; ++r) {
+    s.spawn(r, ncl_rounds(m.comm(r), kRounds));
+  }
+  const WallTimer t;
+  s.run();
+  row.wall_s = t.seconds();
+  row.events = s.events_executed();
+  row.messages = static_cast<std::uint64_t>(kRanks) * kRounds * 2;
+  return row;
+}
+
+/// One end-to-end matching run per backend on a fixed R-MAT input.
+SuiteRow suite_match(match::Model model) {
+  const auto g = gen::rmat(10, 8, 7);
+  SuiteRow row;
+  row.name = std::string("match_") + match::model_name(model);
+  const WallTimer t;
+  const auto r = match::run_match(g, 64, model, {});
+  row.wall_s = t.seconds();
+  row.events = r.sim_events;
+  row.messages = r.totals.isends + r.totals.puts + r.totals.neighbor_colls;
+  benchmark::DoNotOptimize(r.matching.cardinality);
+  return row;
+}
+
+int run_json_suite(const char* path) {
+  std::vector<SuiteRow> rows;
+  rows.push_back(suite_event_loop());
+  rows.push_back(suite_ring_1k());
+  rows.push_back(suite_neighbor_1k());
+  for (const auto model :
+       {match::Model::kNsr, match::Model::kRma, match::Model::kNcl,
+        match::Model::kMbp, match::Model::kNsrAgg, match::Model::kRmaFence,
+        match::Model::kNclNb}) {
+    rows.push_back(suite_match(model));
+  }
+
+  std::FILE* f = std::strcmp(path, "-") == 0 ? stdout : std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro_substrate: cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    const double eps = r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s
+                                    : 0.0;
+    const double mps = r.wall_s > 0
+                           ? static_cast<double>(r.messages) / r.wall_s
+                           : 0.0;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, "
+                 "\"messages\": %llu, \"wall_s\": %.6f, "
+                 "\"events_per_sec\": %.1f, \"messages_per_sec\": %.1f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.messages), r.wall_s, eps,
+                 mps, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"peak_rss_bytes\": %zu\n}\n", peak_rss_bytes());
+  if (f != stdout) std::fclose(f);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: bench_micro_substrate --json FILE\n");
+        return 1;
+      }
+      return run_json_suite(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,11 +1,13 @@
 #include "mel/color/color.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <set>
 #include <unordered_map>
 
 #include "mel/mpi/machine.hpp"
+#include "mel/util/buffer.hpp"
 #include "mel/util/rng.hpp"
 
 namespace mel::color {
@@ -198,13 +200,24 @@ sim::RankTask jp_ncl(mpi::Comm& comm, const LocalGraph& lg,
     ++rounds;
     std::vector<std::pair<Rank, ColorMsg>> updates;
     st.sweep(comm, updates, dist);
-    std::vector<std::vector<std::byte>> slices(deg);
+    // Two-pass pooled-slice fill over the materialized update list: each
+    // slice is written once into its pooled block (the single copy).
+    std::vector<std::size_t> fill(deg, 0);
     std::vector<std::int64_t> counts(deg, 0);
     for (const auto& [dst, msg] : updates) {
       const auto k = static_cast<std::size_t>(lg.neighbor_index(dst));
-      const auto bytes = mpi::bytes_of(msg);
-      slices[k].insert(slices[k].end(), bytes.begin(), bytes.end());
+      fill[k] += sizeof(ColorMsg);
       ++counts[k];
+    }
+    std::vector<mel::util::Buffer> slices(deg);
+    for (std::size_t k = 0; k < deg; ++k) {
+      slices[k] = mel::util::Buffer::alloc(fill[k]);
+      fill[k] = 0;
+    }
+    for (const auto& [dst, msg] : updates) {
+      const auto k = static_cast<std::size_t>(lg.neighbor_index(dst));
+      std::memcpy(slices[k].mutable_data() + fill[k], &msg, sizeof(ColorMsg));
+      fill[k] += sizeof(ColorMsg);
     }
     (void)co_await comm.neighbor_alltoall_i64(counts);
     const auto incoming = co_await comm.neighbor_alltoallv(std::move(slices));

@@ -33,6 +33,7 @@
 #include "mel/ft/params.hpp"
 #include "mel/net/network.hpp"
 #include "mel/sim/simulator.hpp"
+#include "mel/util/buffer.hpp"
 
 namespace mel::ft {
 
@@ -55,9 +56,8 @@ class Host {
 
   /// Hand one reliable, in-order segment to the MPI layer: schedule its
   /// mailbox delivery at `arrive_at` and settle in-flight accounting.
-  virtual void ft_deliver(Rank src, Rank dst, int tag,
-                          std::vector<std::byte> payload, Time sent_at,
-                          Time arrive_at) = 0;
+  virtual void ft_deliver(Rank src, Rank dst, int tag, util::Buffer payload,
+                          Time sent_at, Time arrive_at) = 0;
 
   /// Tally one transport event on `rank`'s counters.
   virtual void ft_count(Rank rank, Stat stat) = 0;
@@ -111,13 +111,13 @@ class Transport {
 
  private:
   struct Pending {
-    std::vector<std::byte> payload;
+    util::Buffer payload;
     std::uint32_t crc = 0;
     Time first_posted = 0;
     int attempts = 0;  // copies sent so far
   };
   struct HeldSeg {
-    std::vector<std::byte> payload;
+    util::Buffer payload;
     Time sent_at = 0;
   };
   struct Channel {
@@ -134,7 +134,7 @@ class Transport {
 
   Channel& channel(Rank src, Rank dst, int tag);
   void attempt(Channel& ch, std::uint64_t seq, Time t);
-  void arrive(Channel& ch, std::uint64_t seq, std::vector<std::byte> payload,
+  void arrive(Channel& ch, std::uint64_t seq, util::Buffer payload,
               std::uint32_t crc, bool corrupt, Time t, Time sent_at);
   void send_ack(Channel& ch, std::uint64_t seq, Time t);
   void abandon(Channel& ch, std::uint64_t seq);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "mel/prof/prof.hpp"
 #include "mel/util/crc32.hpp"
 #include "mel/util/rng.hpp"
 
@@ -42,10 +43,13 @@ Transport::Channel& Transport::channel(Rank src, Rank dst, int tag) {
 
 void Transport::send(Rank src, Rank dst, int tag,
                      std::span<const std::byte> data) {
+  const prof::ScopedTimer pt(prof::Section::kTransport);
   Channel& ch = channel(src, dst, tag);
   const std::uint64_t seq = ch.next_seq++;
   Pending pe;
-  pe.payload.assign(data.begin(), data.end());
+  // The single copy this payload pays under the transport: every wire
+  // copy, the retransmit queue and final delivery share the block.
+  pe.payload = util::Buffer::copy_of(data);
   pe.crc = util::crc32(data);
   pe.first_posted = sim_.rank_now(src);
   ch.pending.emplace(seq, std::move(pe));
@@ -143,20 +147,23 @@ void Transport::attempt(Channel& ch, std::uint64_t seq, Time t) {
   }
 }
 
-void Transport::arrive(Channel& ch, std::uint64_t seq,
-                       std::vector<std::byte> payload, std::uint32_t crc,
-                       bool corrupt, Time t, Time sent_at) {
+void Transport::arrive(Channel& ch, std::uint64_t seq, util::Buffer payload,
+                       std::uint32_t crc, bool corrupt, Time t, Time sent_at) {
+  const prof::ScopedTimer pt(prof::Section::kTransport);
   if (host_.ft_rank_failed(ch.dst)) return;  // dead NIC; sender will abandon
   if (corrupt) {
     // Materialize the fault — flip one byte — and let the checksum do the
     // detecting. CRC-32 catches every single-byte error, so a corrupted
     // copy never sneaks through; the from_bytes size validation in the
-    // MPI layer is the backstop for framing-level damage.
+    // MPI layer is the backstop for framing-level damage. Copy-on-write:
+    // the sender's retransmit queue still holds this block and must keep
+    // the pristine bytes for the repair copy.
     if (!payload.empty()) {
       const auto pos = static_cast<std::size_t>(
           util::hash_combine(seq, static_cast<std::uint64_t>(ch.tag)) %
           payload.size());
-      payload[pos] ^= std::byte{0x40};
+      if (!payload.unique()) payload = payload.clone();
+      payload.mutable_data()[pos] ^= std::byte{0x40};
     }
     if (payload.empty() || util::crc32(payload) != crc) {
       host_.ft_count(ch.dst, Stat::kCorruptDetected);

@@ -65,6 +65,12 @@ struct RunResult {
   std::uint64_t sim_events = 0;
   std::uint64_t iterations = 0;  // max over ranks
 
+  /// Order-sensitive hash of the simulator's full (time, sequence) event
+  /// trace (sim::Simulator::trace_hash); recovery passes fold in their own
+  /// trace. Equal hashes across builds certify bit-identical virtual-time
+  /// behaviour — the determinism pin tests assert on this.
+  std::uint64_t trace_hash = 0;
+
   std::unique_ptr<mpi::CommMatrix> matrix;  // if collect_matrix
 
   /// Ranks that failed (fail-stop crashes), in rank order; empty for a

@@ -1,6 +1,9 @@
 #include "mel/match/backends.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+#include "mel/util/buffer.hpp"
 
 namespace mel::match {
 
@@ -389,22 +392,34 @@ sim::RankTask ncl_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
 
   for (;;) {
     ++rounds;
-    // Push: aggregate staged messages into per-neighbor send buffers.
-    std::vector<std::vector<std::byte>> slices(deg);
+    // Push: aggregate staged messages into per-neighbor pooled send
+    // buffers. The outbox is already materialized, so two passes (size,
+    // then fill) write each slice exactly once into its pooled block —
+    // the slice's single end-to-end copy; receivers alias it by refcount.
+    std::vector<std::size_t> fill(deg, 0);
     std::vector<std::int64_t> counts(deg, 0);
     for (const Outgoing& o : eng.outbox()) {
       const int k = lg.neighbor_index(o.dst);
       if (k < 0) throw std::logic_error("ncl_matcher: message to non-neighbor");
-      const auto bytes = mpi::bytes_of(o.msg);
-      slices[k].insert(slices[k].end(), bytes.begin(), bytes.end());
+      fill[static_cast<std::size_t>(k)] += sizeof(WireMsg);
       ++counts[k];
+    }
+    std::vector<util::Buffer> slices(deg);
+    for (std::size_t k = 0; k < deg; ++k) {
+      slices[k] = util::Buffer::alloc(fill[k]);
+      fill[k] = 0;
+    }
+    for (const Outgoing& o : eng.outbox()) {
+      const auto k = static_cast<std::size_t>(lg.neighbor_index(o.dst));
+      std::memcpy(slices[k].mutable_data() + fill[k], &o.msg, sizeof(WireMsg));
+      fill[k] += sizeof(WireMsg);
     }
     eng.outbox().clear();
 
     // Evoke: fixed-size count exchange so receivers can size buffers, then
     // the variable-size payload exchange.
     (void)co_await comm.neighbor_alltoall_i64(counts);
-    std::vector<std::vector<std::byte>> incoming =
+    const std::vector<util::Buffer> incoming =
         co_await comm.neighbor_alltoallv(std::move(slices));
 
     // Process: drain the receive buffer.
@@ -444,14 +459,22 @@ sim::RankTask ncl_nb_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
 
   for (;;) {
     ++rounds;
-    std::vector<std::vector<std::byte>> slices(deg);
+    // Same two-pass pooled-slice fill as the blocking NCL backend.
+    std::vector<std::size_t> fill(deg, 0);
     for (const Outgoing& o : eng.outbox()) {
       const int k = lg.neighbor_index(o.dst);
       if (k < 0) throw std::logic_error("ncl_nb_matcher: message to non-neighbor");
-      const auto bytes = mpi::bytes_of(o.msg);
-      slices[static_cast<std::size_t>(k)].insert(
-          slices[static_cast<std::size_t>(k)].end(), bytes.begin(),
-          bytes.end());
+      fill[static_cast<std::size_t>(k)] += sizeof(WireMsg);
+    }
+    std::vector<util::Buffer> slices(deg);
+    for (std::size_t k = 0; k < deg; ++k) {
+      slices[k] = util::Buffer::alloc(fill[k]);
+      fill[k] = 0;
+    }
+    for (const Outgoing& o : eng.outbox()) {
+      const auto k = static_cast<std::size_t>(lg.neighbor_index(o.dst));
+      std::memcpy(slices[k].mutable_data() + fill[k], &o.msg, sizeof(WireMsg));
+      fill[k] += sizeof(WireMsg);
     }
     eng.outbox().clear();
 

@@ -6,6 +6,7 @@
 
 #include "mel/match/verify.hpp"
 #include "mel/mpi/machine.hpp"
+#include "mel/util/rng.hpp"
 
 namespace mel::match {
 
@@ -145,6 +146,7 @@ Attempt run_once(const graph::DistGraph& dg, Model model,
   result.nranks = p;
   result.time = simulator.max_rank_time();
   result.sim_events = simulator.events_executed();
+  result.trace_hash = simulator.trace_hash();
   result.totals = machine.total_counters();
   result.failed_ranks = a.failed_ranks;
   result.per_rank.reserve(p);
@@ -265,6 +267,7 @@ RunResult run_match(const graph::Csr& g, int nranks, Model model,
     // Recovery runs after the aborted attempt: job time and traffic add up.
     result.time += rec.time;
     result.sim_events += rec.sim_events;
+    result.trace_hash = util::hash_combine(result.trace_hash, rec.trace_hash);
     result.iterations += rec.iterations;
     result.totals += rec.totals;
   }

@@ -26,8 +26,21 @@
 
 #include "mel/mpi/machine.hpp"
 #include "mel/mpi/message.hpp"
+#include "mel/util/buffer.hpp"
 
 namespace mel::mpi {
+
+namespace detail {
+/// Stage caller-built byte vectors into pooled buffers — the one copy a
+/// neighborhood slice pays end-to-end (receivers alias by refcount).
+inline std::vector<util::Buffer> to_buffers(
+    const std::vector<std::vector<std::byte>>& slices) {
+  std::vector<util::Buffer> out;
+  out.reserve(slices.size());
+  for (const auto& s : slices) out.push_back(util::Buffer::copy_of(s));
+  return out;
+}
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // Awaiters
@@ -80,20 +93,19 @@ class WaitMessageAwaiter {
 /// topology neighbor (same order as comm.neighbors()).
 class NeighborAwaiter {
  public:
-  NeighborAwaiter(Machine& m, Rank rank,
-                  std::vector<std::vector<std::byte>> slices);
+  NeighborAwaiter(Machine& m, Rank rank, std::vector<util::Buffer> slices);
   NeighborAwaiter(NeighborAwaiter&&) = delete;
 
   bool await_ready() { return false; }
   void await_suspend(std::coroutine_handle<> h);
-  std::vector<std::vector<std::byte>> await_resume();
+  std::vector<util::Buffer> await_resume();
 
  private:
   Machine& m_;
   Rank rank_;
   Time entry_clock_;
-  std::vector<std::vector<std::byte>> send_;
-  std::vector<std::vector<std::byte>> recv_;
+  std::vector<util::Buffer> send_;
+  std::vector<util::Buffer> recv_;
 };
 
 /// co_await comm.neighbor_alltoall_i64(values) -> one int64 from each
@@ -112,7 +124,7 @@ class NeighborI64Awaiter {
   Rank rank_;
   Time entry_clock_;
   std::vector<std::int64_t> values_;
-  std::vector<std::vector<std::byte>> recv_;
+  std::vector<util::Buffer> recv_;
 };
 
 /// co_await comm.allreduce(values, op) -> elementwise-reduced vector.
@@ -260,7 +272,7 @@ class NeighborRequest {
   NeighborRequest(const NeighborRequest&) = delete;
   NeighborRequest& operator=(const NeighborRequest&) = delete;
 
-  std::vector<std::vector<std::byte>> recv;  // valid after ineighbor_wait
+  std::vector<util::Buffer> recv;  // valid after ineighbor_wait
 };
 
 class NeighborWaitAwaiter {
@@ -374,8 +386,15 @@ class Comm {
   // -- Process topology and neighborhood collectives -----------------------
   const std::vector<Rank>& neighbors() const { return m_.topology(rank_); }
   [[nodiscard]] NeighborAwaiter neighbor_alltoallv(
-      std::vector<std::vector<std::byte>> slices) {
+      std::vector<util::Buffer> slices) {
     return NeighborAwaiter(m_, rank_, std::move(slices));
+  }
+  /// Convenience overload: stages caller-built byte vectors into pooled
+  /// buffers (one copy; prefer the Buffer overload on hot paths that can
+  /// fill slices directly).
+  [[nodiscard]] NeighborAwaiter neighbor_alltoallv(
+      const std::vector<std::vector<std::byte>>& slices) {
+    return NeighborAwaiter(m_, rank_, detail::to_buffers(slices));
   }
   [[nodiscard]] NeighborI64Awaiter neighbor_alltoall_i64(
       std::vector<std::int64_t> values) {
@@ -383,9 +402,13 @@ class Comm {
   }
   /// Split-phase (nonblocking) neighborhood collective; complete with
   /// ineighbor_wait. At most one outstanding per rank.
-  void ineighbor_alltoallv(std::vector<std::vector<std::byte>> slices,
+  void ineighbor_alltoallv(std::vector<util::Buffer> slices,
                            NeighborRequest& req) {
     m_.neighbor_begin(rank_, std::move(slices), &req.recv);
+  }
+  void ineighbor_alltoallv(const std::vector<std::vector<std::byte>>& slices,
+                           NeighborRequest& req) {
+    m_.neighbor_begin(rank_, detail::to_buffers(slices), &req.recv);
   }
   [[nodiscard]] NeighborWaitAwaiter ineighbor_wait(NeighborRequest&) {
     return NeighborWaitAwaiter(m_, rank_);

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -166,7 +165,7 @@ class Machine : public ft::Host {
   std::vector<std::int64_t> probe_state(Rank rank) const;
 
   // -- ft::Host (callbacks from the reliable transport) ---------------------
-  void ft_deliver(Rank src, Rank dst, int tag, std::vector<std::byte> payload,
+  void ft_deliver(Rank src, Rank dst, int tag, util::Buffer payload,
                   Time sent_at, Time arrive_at) override;
   void ft_count(Rank rank, ft::Stat stat) override;
   void ft_price(Rank rank, Time ns) override;
@@ -232,19 +231,22 @@ class Machine : public ft::Host {
   /// window. `fence_out` receives the epoch completion time.
   void fence_arrive(int win, Rank rank, sim::Simulator::Parked parked);
 
-  /// Neighborhood collective: rank arrives with one byte-slice per
+  /// Neighborhood collective: rank arrives with one buffer slice per
   /// topology neighbor (ordered as topology(rank)). Parks the rank; the
   /// machine completes it once all neighbors arrive at the same sequence
-  /// number, depositing received slices into `recv_out`.
-  void neighbor_arrive(Rank rank, std::vector<std::vector<std::byte>> slices,
-                       std::vector<std::vector<std::byte>>* recv_out,
+  /// number, depositing received slices into `recv_out`. Received slices
+  /// alias the sender's buffers (refcounted) — the per-receiver deep copy
+  /// the old vector<vector<byte>> interface paid is gone, its cost is
+  /// still *priced* into virtual time via copy_time.
+  void neighbor_arrive(Rank rank, std::vector<util::Buffer> slices,
+                       std::vector<util::Buffer>* recv_out,
                        sim::Simulator::Parked parked);
 
   /// Split-phase (nonblocking) neighborhood collective: posts the
   /// contribution without parking (MPI_Ineighbor_alltoallv). Complete it
   /// later with neighbor_wait. At most one outstanding per rank.
-  void neighbor_begin(Rank rank, std::vector<std::vector<std::byte>> slices,
-                      std::vector<std::vector<std::byte>>* recv_out);
+  void neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
+                      std::vector<util::Buffer>* recv_out);
   /// Park until the outstanding split-phase collective completes; if it
   /// already completed, advances the clock to its completion time and
   /// returns true (no parking needed).

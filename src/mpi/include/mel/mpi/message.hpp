@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mel/sim/time.hpp"
+#include "mel/util/buffer.hpp"
 
 namespace mel::mpi {
 
@@ -25,12 +26,15 @@ inline constexpr int kAnyTag = -1;
 /// accounting transfers (envelope: src, tag, size).
 inline constexpr std::size_t kHeaderBytes = 16;
 
-/// A point-to-point message in flight or in a mailbox.
+/// A point-to-point message in flight or in a mailbox. The payload is a
+/// ref-counted pooled buffer: moving a Message between the wire, the
+/// retransmit queue and a mailbox never copies bytes (copying the payload
+/// happens exactly once, at isend).
 struct Message {
   Rank src = -1;
   Rank dst = -1;
   int tag = 0;
-  std::vector<std::byte> data;
+  util::Buffer data;
   Time sent_at = 0;
   Time arrived_at = 0;
 };

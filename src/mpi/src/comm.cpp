@@ -83,7 +83,7 @@ void WaitMessageAwaiter::await_resume() {
 // ---------------------------------------------------------------------------
 
 NeighborAwaiter::NeighborAwaiter(Machine& m, Rank rank,
-                                 std::vector<std::vector<std::byte>> slices)
+                                 std::vector<util::Buffer> slices)
     : m_(m),
       rank_(rank),
       entry_clock_(m.simulator().rank_now(rank)),
@@ -93,7 +93,7 @@ void NeighborAwaiter::await_suspend(std::coroutine_handle<> h) {
   m_.neighbor_arrive(rank_, std::move(send_), &recv_, {rank_, h});
 }
 
-std::vector<std::vector<std::byte>> NeighborAwaiter::await_resume() {
+std::vector<util::Buffer> NeighborAwaiter::await_resume() {
   m_.add_comm_time(rank_, m_.simulator().rank_now(rank_) - entry_clock_);
   m_.trace_op(rank_, "ncoll", entry_clock_);
   return std::move(recv_);
@@ -107,9 +107,11 @@ NeighborI64Awaiter::NeighborI64Awaiter(Machine& m, Rank rank,
       values_(std::move(values)) {}
 
 void NeighborI64Awaiter::await_suspend(std::coroutine_handle<> h) {
-  std::vector<std::vector<std::byte>> slices;
+  std::vector<util::Buffer> slices;
   slices.reserve(values_.size());
-  for (const std::int64_t v : values_) slices.push_back(to_bytes(v));
+  for (const std::int64_t v : values_) {
+    slices.push_back(util::Buffer::copy_of(bytes_of(v)));
+  }
   m_.neighbor_arrive(rank_, std::move(slices), &recv_, {rank_, h});
 }
 

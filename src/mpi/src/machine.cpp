@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "mel/mpi/comm.hpp"
+#include "mel/prof/prof.hpp"
 
 namespace mel::mpi {
 
@@ -17,9 +18,41 @@ namespace mel::mpi {
 // Internal state structs
 // ---------------------------------------------------------------------------
 
+/// FIFO of arrived messages as a vector + head cursor instead of a deque:
+/// front-pops are cursor bumps, steady state reuses one allocation (deque
+/// churns map/chunk nodes), and the occasional mid-queue extraction (tag
+/// matching) is a vector erase. The dead prefix is compacted once it
+/// dominates the vector.
 struct Machine::Mailbox {
-  std::deque<Message> arrived;
+  std::vector<Message> arrived;  // live range [head, arrived.size())
+  std::size_t head = 0;
   std::vector<RecvTicket*> waiters;  // in park order
+
+  bool empty() const { return head == arrived.size(); }
+  std::size_t size() const { return arrived.size() - head; }
+  auto begin() { return arrived.begin() + static_cast<std::ptrdiff_t>(head); }
+  auto end() { return arrived.end(); }
+  auto begin() const {
+    return arrived.begin() + static_cast<std::ptrdiff_t>(head);
+  }
+  auto end() const { return arrived.end(); }
+  const Message& front() const { return arrived[head]; }
+  void push_back(Message m) { arrived.push_back(std::move(m)); }
+  void erase(std::vector<Message>::iterator it) {
+    if (it == begin()) {
+      ++head;
+      if (head == arrived.size()) {
+        arrived.clear();  // keeps capacity
+        head = 0;
+      } else if (head >= 64 && head * 2 >= arrived.size()) {
+        arrived.erase(arrived.begin(),
+                      arrived.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+    } else {
+      arrived.erase(it);
+    }
+  }
 };
 
 struct Machine::WindowState {
@@ -40,13 +73,13 @@ struct Machine::WindowState {
 struct Machine::NeighborState {
   struct Call {
     Time arrive = 0;
-    std::vector<std::vector<std::byte>> slices;  // per neighbor of caller
+    std::vector<util::Buffer> slices;  // per neighbor of caller
     int consumers_left = 0;
   };
   struct Pending {
     std::uint64_t seq = 0;
     Time arrive = 0;
-    std::vector<std::vector<std::byte>>* recv_out = nullptr;
+    std::vector<util::Buffer>* recv_out = nullptr;
     sim::Simulator::Parked parked;
     int waiting_on = 0;
     bool active = false;   // an op is outstanding
@@ -320,6 +353,7 @@ void Machine::isend(Rank src, Rank dst, int tag,
         "Machine::enable_ft first — without it lost messages would "
         "silently deadlock the run");
   }
+  const prof::ScopedTimer pt(prof::Section::kP2P);
   const auto& p = net_.params();
   auto& c = counters_[src];
   c.isends += 1;
@@ -370,7 +404,9 @@ void Machine::isend(Rank src, Rank dst, int tag,
   msg.src = src;
   msg.dst = dst;
   msg.tag = tag;
-  msg.data.assign(data.begin(), data.end());
+  // The payload's one and only copy: into a pooled refcounted buffer that
+  // travels through delivery and the mailbox by reference.
+  msg.data = util::Buffer::copy_of(data);
   msg.sent_at = sim_.rank_now(src);
   msg.arrived_at = arrival;
   inflight_sends_[src] += 1;
@@ -389,6 +425,7 @@ bool matches(const Message& m, Rank src, int tag) {
 }  // namespace
 
 void Machine::deliver(Message msg) {
+  const prof::ScopedTimer pt(prof::Section::kP2P);
   auto& box = *mailboxes_[msg.dst];
   const Rank dst = msg.dst;
   delivered_payload_bytes_ += msg.data.size();
@@ -409,7 +446,7 @@ void Machine::deliver(Message msg) {
       // Leave the message in the mailbox for a later recv.
       enqueue_accounting(dst, msg.data.size());
       const Time wake_at = std::max(t->parked_clock, msg.arrived_at);
-      box.arrived.push_back(std::move(msg));
+      box.push_back(std::move(msg));
       sim_.wake(t->parked, wake_at);
     } else {
       const Time wake_at = std::max(t->parked_clock, msg.arrived_at) +
@@ -421,7 +458,7 @@ void Machine::deliver(Message msg) {
     return;
   }
   enqueue_accounting(dst, msg.data.size());
-  box.arrived.push_back(std::move(msg));
+  box.push_back(std::move(msg));
 }
 
 void Machine::enqueue_accounting(Rank dst, std::size_t bytes) {
@@ -438,7 +475,7 @@ std::optional<Envelope> Machine::iprobe(Rank rank, Rank src, int tag) {
   counters_[rank].iprobes += 1;
   counters_[rank].comm_ns += p.o_iprobe;
   const Time now = sim_.rank_now(rank);
-  for (const Message& m : mailboxes_[rank]->arrived) {
+  for (const Message& m : *mailboxes_[rank]) {
     if (m.arrived_at <= now && matches(m, src, tag)) {
       return Envelope{m.src, m.tag, m.data.size()};
     }
@@ -448,7 +485,7 @@ std::optional<Envelope> Machine::iprobe(Rank rank, Rank src, int tag) {
 
 bool Machine::try_recv(Rank rank, Rank src, int tag, Message& out) {
   auto& box = *mailboxes_[rank];
-  for (auto it = box.arrived.begin(); it != box.arrived.end(); ++it) {
+  for (auto it = box.begin(); it != box.end(); ++it) {
     if (!matches(*it, src, tag)) continue;
     const auto& p = net_.params();
     // Completing a recv of a message that is still "in flight" relative to
@@ -460,7 +497,7 @@ bool Machine::try_recv(Rank rank, Rank src, int tag, Message& out) {
     out = std::move(*it);
     mailbox_bytes_[rank] -= out.data.size();
     mailbox_msgs_[rank] -= 1;
-    box.arrived.erase(it);
+    box.erase(it);
     counters_[rank].recvs += 1;
     return true;
   }
@@ -468,7 +505,7 @@ bool Machine::try_recv(Rank rank, Rank src, int tag, Message& out) {
 }
 
 bool Machine::iprobe_any_queued(Rank rank) const {
-  return !mailboxes_[rank]->arrived.empty();
+  return !mailboxes_[rank]->empty();
 }
 
 void Machine::park_recv(RecvTicket* ticket) {
@@ -488,6 +525,7 @@ void Machine::cancel_recv(RecvTicket* ticket) {
 
 void Machine::put(int win, Rank origin, Rank target, std::size_t offset,
                   std::span<const std::byte> data) {
+  const prof::ScopedTimer pt(prof::Section::kRma);
   auto& ws = *windows_.at(win);
   if (offset + data.size() > ws.mem.at(target).size()) {
     throw std::out_of_range("Window::put past end of target window");
@@ -507,9 +545,11 @@ void Machine::put(int win, Rank origin, Rank target, std::size_t offset,
       net_.transfer_time(origin, target, data.size() + kHeaderBytes);
   ws.last_completion[origin] = std::max(ws.last_completion[origin], completion);
   puts_scheduled_ += 1;
-  std::vector<std::byte> payload(data.begin(), data.end());
+  // Pooled staging copy (the payload's only copy; the old path copied
+  // into a fresh vector and the closure moved it — two allocations).
   sim_.schedule(completion,
-                [this, &ws, target, offset, payload = std::move(payload)] {
+                [this, &ws, target, offset,
+                 payload = util::Buffer::copy_of(data)] {
                   std::memcpy(ws.mem[target].data() + offset, payload.data(),
                               payload.size());
                   puts_landed_ += 1;
@@ -561,9 +601,9 @@ std::size_t Machine::window_size(int win, Rank rank) const {
 // Neighborhood collectives
 // ---------------------------------------------------------------------------
 
-void Machine::neighbor_begin(Rank rank,
-                             std::vector<std::vector<std::byte>> slices,
-                             std::vector<std::vector<std::byte>>* recv_out) {
+void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
+                             std::vector<util::Buffer>* recv_out) {
+  const prof::ScopedTimer pt(prof::Section::kNeighbor);
   ensure_topology_validated();
   auto& st = *neighbor_;
   const auto& topo = topology_[rank];
@@ -639,15 +679,15 @@ bool Machine::neighbor_wait(Rank rank, sim::Simulator::Parked parked) {
   return false;
 }
 
-void Machine::neighbor_arrive(Rank rank,
-                              std::vector<std::vector<std::byte>> slices,
-                              std::vector<std::vector<std::byte>>* recv_out,
+void Machine::neighbor_arrive(Rank rank, std::vector<util::Buffer> slices,
+                              std::vector<util::Buffer>* recv_out,
                               sim::Simulator::Parked parked) {
   neighbor_begin(rank, std::move(slices), recv_out);
   (void)neighbor_wait(rank, parked);
 }
 
 void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
+  const prof::ScopedTimer pt(prof::Section::kNeighbor);
   auto& st = *neighbor_;
   const auto& topo = topology_[rank];
   auto& pend = st.pending[rank];
@@ -657,7 +697,7 @@ void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
   Time ready = pend.arrive;
   Time wire = 0;
   std::size_t recv_bytes = 0;
-  std::vector<std::vector<std::byte>> data(topo.size());
+  std::vector<util::Buffer> data(topo.size());
   for (std::size_t i = 0; i < topo.size(); ++i) {
     const Rank n = topo[i];
     auto it = st.calls[n].find(seq);
@@ -667,7 +707,7 @@ void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
     const auto& ntopo = topology_[n];
     const auto pos = static_cast<std::size_t>(
         std::find(ntopo.begin(), ntopo.end(), rank) - ntopo.begin());
-    data[i] = call.slices.at(pos);
+    data[i] = call.slices.at(pos);  // refcount bump, no byte copy
     recv_bytes += data[i].size();
     // Pairwise-exchange cost model: a neighborhood collective on k
     // neighbors degenerates into ~k sequential point-to-point exchanges
@@ -703,6 +743,7 @@ void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
 void Machine::global_arrive(Rank rank, std::vector<std::int64_t> contribution,
                             ReduceOp op, std::vector<std::int64_t>* result_out,
                             sim::Simulator::Parked parked) {
+  const prof::ScopedTimer pt(prof::Section::kGlobalColl);
   auto& st = *global_;
   const auto& p = net_.params();
   sim_.charge(rank, p.o_coll_base);
@@ -822,9 +863,8 @@ std::vector<std::int64_t> Machine::probe_state(Rank rank) const {
   return probe();
 }
 
-void Machine::ft_deliver(Rank src, Rank dst, int tag,
-                         std::vector<std::byte> payload, Time sent_at,
-                         Time arrive_at) {
+void Machine::ft_deliver(Rank src, Rank dst, int tag, util::Buffer payload,
+                         Time sent_at, Time arrive_at) {
   Message msg;
   msg.src = src;
   msg.dst = dst;
@@ -867,6 +907,7 @@ void Machine::ft_record_wire(Rank src, Rank dst, std::size_t bytes) {
 
 void Machine::agree_arrive(Rank rank, std::vector<std::int64_t>* result_out,
                            sim::Simulator::Parked parked) {
+  const prof::ScopedTimer pt(prof::Section::kGlobalColl);
   auto& st = *agree_;
   sim_.charge(rank, net_.params().o_coll_base);
   counters_[rank].agrees += 1;
@@ -959,13 +1000,13 @@ std::vector<std::string> Machine::audit() const {
     // Mailbox accounting must mirror the actual queue contents at all
     // times; at finalize both must be zero (every message consumed).
     std::size_t queued_bytes = 0;
-    for (const Message& m : box.arrived) queued_bytes += m.data.size();
+    for (const Message& m : box) queued_bytes += m.data.size();
     if (queued_bytes != mailbox_bytes_[r] ||
-        box.arrived.size() != mailbox_msgs_[r]) {
+        box.size() != mailbox_msgs_[r]) {
       std::ostringstream os;
       os << "mailbox accounting drift on rank " << r << ": counted "
          << mailbox_msgs_[r] << " msgs/" << mailbox_bytes_[r]
-         << " B but the queue holds " << box.arrived.size() << " msgs/"
+         << " B but the queue holds " << box.size() << " msgs/"
          << queued_bytes << " B";
       violate(os.str());
     }
@@ -974,18 +1015,18 @@ std::vector<std::string> Machine::audit() const {
     // REJECTs in the send-recv protocols) that nothing could consume.
     // Any residue beyond that was readable while the rank still ran and
     // means a backend abandoned its mailbox.
-    if (box.arrived.size() != dead_letter_msgs_[r] ||
+    if (box.size() != dead_letter_msgs_[r] ||
         queued_bytes != dead_letter_bytes_[r]) {
       std::ostringstream os;
       os << "rank " << r << " finalized abandoning "
-         << (box.arrived.size() - std::min<std::size_t>(
-                                      box.arrived.size(), dead_letter_msgs_[r]))
-         << " readable message(s) in its mailbox (" << box.arrived.size()
+         << (box.size() - std::min<std::size_t>(
+                                      box.size(), dead_letter_msgs_[r]))
+         << " readable message(s) in its mailbox (" << box.size()
          << " msgs/" << queued_bytes << " B queued, of which "
          << dead_letter_msgs_[r] << " msgs/" << dead_letter_bytes_[r]
          << " B arrived after it returned; first queued: src="
-         << box.arrived.front().src << " tag=" << box.arrived.front().tag
-         << " " << box.arrived.front().data.size() << " B)";
+         << box.front().src << " tag=" << box.front().tag
+         << " " << box.front().data.size() << " B)";
       violate(os.str());
     }
     if (!box.waiters.empty()) {
@@ -1091,7 +1132,7 @@ std::string Machine::rank_diagnostics(Rank rank) const {
     }
   }
   if (!parked) os << "parked=none ";
-  os << "mailbox=" << box.arrived.size() << "msgs/" << mailbox_bytes_[rank]
+  os << "mailbox=" << box.size() << "msgs/" << mailbox_bytes_[rank]
      << "B inflight_sends=" << inflight_sends_[rank]
      << " next_nbr_seq=" << neighbor_->next_seq[rank]
      << " next_coll_seq=" << global_->next_seq[rank];

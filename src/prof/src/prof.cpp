@@ -1,0 +1,85 @@
+#include "mel/prof/prof.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace mel::prof {
+
+namespace {
+Stats g_stats[kSectionCount];
+}  // namespace
+
+const char* section_name(Section s) {
+  switch (s) {
+    case Section::kEventLoop: return "event_loop";
+    case Section::kP2P: return "p2p";
+    case Section::kRma: return "rma";
+    case Section::kNeighbor: return "neighbor";
+    case Section::kGlobalColl: return "global_coll";
+    case Section::kTransport: return "transport";
+  }
+  return "?";
+}
+
+void set_enabled(bool on) { detail::g_enabled = on; }
+bool enabled() { return detail::g_enabled; }
+
+void reset() {
+  for (auto& s : g_stats) s = Stats{};
+}
+
+Stats section_stats(Section s) { return g_stats[static_cast<int>(s)]; }
+
+std::string report() {
+  std::ostringstream os;
+  os << "host profile (inclusive; subsystems nest inside event_loop):\n";
+  for (int i = 0; i < kSectionCount; ++i) {
+    const Stats& st = g_stats[i];
+    if (st.calls == 0) continue;
+    const double ms = static_cast<double>(st.ns) / 1e6;
+    const double per_call =
+        static_cast<double>(st.ns) / static_cast<double>(st.calls);
+    os << "  " << section_name(static_cast<Section>(i));
+    for (std::size_t pad = std::string(section_name(static_cast<Section>(i)))
+                               .size();
+         pad < 12; ++pad) {
+      os << ' ';
+    }
+    os << st.calls << " calls  " << ms << " ms  " << per_call << " ns/call\n";
+  }
+  return os.str();
+}
+
+std::string report_json() {
+  std::ostringstream os;
+  os << "{\"host_profile\": {";
+  bool first = true;
+  for (int i = 0; i < kSectionCount; ++i) {
+    const Stats& st = g_stats[i];
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << section_name(static_cast<Section>(i)) << "\": {\"calls\": "
+       << st.calls << ", \"ns\": " << st.ns << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace detail {
+
+void record(Section s, std::uint64_t ns) {
+  Stats& st = g_stats[static_cast<int>(s)];
+  ++st.calls;
+  st.ns += ns;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace detail
+
+}  // namespace mel::prof

@@ -1,0 +1,308 @@
+// Indexed event queue for the discrete-event simulator hot path.
+//
+// Replaces the binary-heap priority_queue<Event> + std::function pair that
+// dominated host time. Two ideas:
+//
+//   1. EventFn: a move-only callable with a 64-byte small-buffer so every
+//      closure the substrate schedules (delivery, wake, put-landing,
+//      collective completion) lives inline in the queue's storage — no
+//      per-event heap allocation, no std::function type-erasure overhead.
+//
+//   2. EventQueue: a two-level calendar. The *run* is a sorted vector of
+//      the earliest epoch's events drained with a cursor (O(1) pop, O(1)
+//      append for the dominant in-order pattern, including same-timestamp
+//      FIFO batches). Pushes that land *before* the run's tail — wakes and
+//      deliveries stamped with per-rank clocks inside the current epoch —
+//      go to a second *overlay* lane, a binary min-heap, instead of being
+//      inserted mid-run (which would memmove O(run) per push); pop takes
+//      the (time, seq)-min of the two lane heads. Behind both sits a
+//      1024-slot timing wheel of 1024 ns epochs indexed by a non-empty
+//      bitmap, and a spill heap for events beyond the wheel horizon.
+//      Refill moves one epoch into the run and sorts it once. Every
+//      structure holds 24-byte (time, seq, slab index) keys; the closures
+//      themselves sit still in a free-listed slab, so sorts and heap
+//      sifts shuffle PODs, never EventFn payloads.
+//
+// Ordering contract (bit-identical to the old heap): events pop in strict
+// ascending (time, sequence), where sequence is assigned at push in call
+// order. The determinism pin test freezes the full (time, sequence) trace
+// hash across this swap.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "mel/sim/time.hpp"
+
+namespace mel::sim {
+
+/// Move-only type-erased callable `void(Time)` (also accepts plain
+/// `void()` callables) with 64 bytes of inline storage. Closures that fit
+/// are stored in place; larger ones fall back to a single heap node. The
+/// substrate's hot-path closures are all sized to fit — see the static
+/// asserts at the call sites' tests.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventFn() noexcept = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::decay_t<F>, EventFn>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(f));
+  }
+
+  /// Replace the held callable in place. The slab-reuse path: builds the
+  /// new closure directly in this object's storage instead of routing a
+  /// temporary EventFn through an extra 80-byte move.
+  template <class F>
+  void assign(F&& f) {
+    if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
+      *this = std::forward<F>(f);
+    } else {
+      destroy();
+      construct(std::forward<F>(f));
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept { move_from(o); }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      move_from(o);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { destroy(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  void operator()(Time t) { invoke_(storage_, t); }
+
+ private:
+  struct Ops {
+    // Move payload dst <- src and destroy src's; null = raw byte copy.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* p) noexcept;  // null = trivially destructible
+  };
+
+  template <class F>
+  void construct(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = [](void* p, Time t) { call(*static_cast<D*>(p), t); };
+      if constexpr (std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>) {
+        ops_ = nullptr;
+      } else {
+        ops_ = &kInlineOps<D>;
+      }
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      invoke_ = [](void* p, Time t) { call(**static_cast<D**>(p), t); };
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  template <class D>
+  static void call(D& d, Time t) {
+    if constexpr (std::is_invocable_v<D&, Time>) {
+      d(t);
+    } else {
+      d();
+    }
+  }
+
+  template <class D>
+  static constexpr Ops kInlineOps{
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); }};
+
+  template <class D>
+  static constexpr Ops kHeapOps{
+      nullptr,  // relocating a heap node is a pointer copy
+      [](void* p) noexcept { delete *static_cast<D**>(p); }};
+
+  void move_from(EventFn& o) noexcept {
+    invoke_ = o.invoke_;
+    ops_ = o.ops_;
+    if (invoke_ != nullptr) {
+      if (ops_ != nullptr && ops_->relocate != nullptr) {
+        ops_->relocate(storage_, o.storage_);
+      } else {
+        std::memcpy(storage_, o.storage_, kInlineBytes);
+      }
+    }
+    o.invoke_ = nullptr;
+    o.ops_ = nullptr;
+  }
+
+  void destroy() noexcept {
+    if (invoke_ != nullptr && ops_ != nullptr && ops_->destroy != nullptr) {
+      ops_->destroy(storage_);
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  void (*invoke_)(void*, Time) = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+/// Two-level indexed queue popping in strict ascending (time, sequence).
+///
+/// Every closure is stored exactly once, in a slab recycled through a
+/// free list; the run, wheel, overlay and overflow structures hold only
+/// 24-byte (time, seq, slab index) keys. Sorting, heap sifts and refills
+/// shuffle PODs — an EventFn moves twice in its life: into the slab at
+/// push, out at pop.
+class EventQueue {
+ public:
+  struct Event {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    EventFn fn;
+  };
+
+  /// Ordering key of one queued event. `t` and `seq` are the queue's
+  /// full ordering contract; `idx` locates the closure in the slab.
+  struct Key {
+    Time t;
+    std::uint64_t seq;
+    std::uint32_t idx;
+  };
+
+  /// Queue `fn` (any callable EventFn accepts) at time `t`. A template so
+  /// the closure is built directly in its slab slot — no intermediate
+  /// EventFn temporaries on the hot path.
+  template <class F>
+  void push(Time t, F&& fn) {
+    const std::uint64_t seq = next_seq_++;
+    ++size_;
+    route(Key{t, seq, store(std::forward<F>(fn))});
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::uint64_t seqs_issued() const noexcept { return next_seq_; }
+
+  /// Key of the next event. Callers that only need "what pops next" (the
+  /// simulator's horizon check and trace hash) never touch the closure.
+  /// Requires !empty().
+  Key peek() {
+    if (run_head_ == run_.size() && ovl_heap_.empty()) refill();
+    return next_is_overlay() ? ovl_heap_.front() : run_[run_head_];
+  }
+
+  /// Remove and return the next event. Requires !empty().
+  Event pop() {
+    if (run_head_ == run_.size() && ovl_heap_.empty()) refill();
+    Key k;
+    if (next_is_overlay()) {
+      k = ovl_heap_.front();
+      std::pop_heap(ovl_heap_.begin(), ovl_heap_.end(), key_after);
+      ovl_heap_.pop_back();
+    } else {
+      k = run_[run_head_];
+      ++run_head_;
+      if (run_head_ == run_.size()) {
+        run_.clear();  // keeps capacity: the steady state never reallocates
+        run_head_ = 0;
+      }
+    }
+    Event ev{k.t, k.seq, std::move(fns_[k.idx])};
+    free_.push_back(k.idx);
+    --size_;
+    return ev;
+  }
+
+ private:
+  // 1024 ns epochs x 1024 slots = ~1 ms of wheel horizon, a comfortable
+  // multiple of the network model's per-message latencies.
+  static constexpr int kSlotShift = 10;
+  static constexpr std::size_t kSlots = 1024;
+  static constexpr std::size_t kWords = kSlots / 64;
+  static constexpr Time kNoFloor = std::numeric_limits<Time>::max();
+
+  static std::int64_t epoch_of(Time t) noexcept { return t >> kSlotShift; }
+
+  /// Park the closure in the slab, reusing a freed slot when one exists.
+  template <class F>
+  std::uint32_t store(F&& fn) {
+    if (!free_.empty()) {
+      const std::uint32_t idx = free_.back();
+      free_.pop_back();
+      fns_[idx].assign(std::forward<F>(fn));
+      return idx;
+    }
+    fns_.emplace_back(std::forward<F>(fn));
+    return static_cast<std::uint32_t>(fns_.size() - 1);
+  }
+
+  void route(Key k);
+  void place_indexed(Key k);
+  void refill();
+  std::int64_t next_wheel_epoch() const noexcept;
+
+  /// True when the global (time, seq)-min of the two lanes is the
+  /// overlay's root. Requires at least one lane non-drained.
+  bool next_is_overlay() const noexcept {
+    if (ovl_heap_.empty()) return false;
+    if (run_head_ == run_.size()) return true;
+    return key_less(ovl_heap_.front(), run_[run_head_]);
+  }
+
+  static bool key_less(const Key& a, const Key& b) noexcept {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+  // Min-heap comparator for overlay/overflow (std::*_heap are max-heaps).
+  static bool key_after(const Key& a, const Key& b) noexcept {
+    return key_less(b, a);
+  }
+
+  // Closure slab + free list. Indices are stable for an event's lifetime;
+  // capacity tracks the high-water outstanding-event count and is reused
+  // forever after (zero steady-state allocation).
+  std::vector<EventFn> fns_;
+  std::vector<std::uint32_t> free_;
+
+  // Current epoch's keys, ascending (time, seq), consumed via cursor.
+  std::vector<Key> run_;
+  std::size_t run_head_ = 0;
+
+  // Overlay lane: pushes earlier than the run's tail, as a binary
+  // min-heap. Pop merges the two lanes by head-min.
+  std::vector<Key> ovl_heap_;
+
+  std::array<std::vector<Key>, kSlots> wheel_;
+  std::uint64_t bitmap_[kWords] = {};
+  std::size_t wheel_count_ = 0;
+  std::vector<Key> overflow_;  // min-heap on (time, seq)
+
+  // All wheel/overflow events have epoch > cur_epoch_ (invariant A); the
+  // run holds only events at epochs <= cur_epoch_ plus in-order appends.
+  std::int64_t cur_epoch_ = -1;
+  // Conservative lower bound on the earliest time in wheel + overflow; a
+  // too-low value only disables the O(1) append fast path, never ordering.
+  Time floor_lb_ = kNoFloor;
+
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mel::sim

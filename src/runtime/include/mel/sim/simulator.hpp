@@ -17,11 +17,11 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "mel/sim/event_queue.hpp"
 #include "mel/sim/task.hpp"
 #include "mel/sim/time.hpp"
 
@@ -87,8 +87,14 @@ class Simulator {
   }
 
   /// Schedule a raw event at absolute virtual time t. Events at equal time
-  /// run in scheduling order.
-  void schedule(Time t, std::function<void()> fn);
+  /// run in scheduling order. The callable may take the event's virtual
+  /// time as a parameter (`void(Time)`) or nothing; it must fit the
+  /// EventFn small buffer to stay off the heap (larger closures still
+  /// work, they just allocate).
+  template <class F>
+  void schedule(Time t, F&& fn) {
+    queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Park the currently running rank coroutine; some subsystem holding the
   /// returned token will later call wake(). Called from awaiter
@@ -104,6 +110,12 @@ class Simulator {
 
   /// Number of events executed so far (diagnostic / test hook).
   std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Order-sensitive hash over the full (time, sequence) event trace
+  /// executed so far. Two runs are bit-identical in virtual time iff their
+  /// trace hashes agree; the determinism pin tests rely on this staying
+  /// stable across event-queue implementations.
+  std::uint64_t trace_hash() const { return trace_hash_; }
 
   /// True once the rank's main coroutine has returned.
   bool rank_done(Rank rank) const { return ranks_[rank].done; }
@@ -162,15 +174,6 @@ class Simulator {
   /// Record a pending exception thrown by a rank coroutine, if any.
   void note_rank_error(Rank rank);
 
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& other) const {
-      return t != other.t ? t > other.t : seq > other.seq;
-    }
-  };
-
   struct RankState {
     RankTask task;
     Time clock = 0;
@@ -182,7 +185,7 @@ class Simulator {
 
   std::vector<RankState> ranks_;
   std::exception_ptr error_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  EventQueue queue_;
   Time now_ = 0;
   Time horizon_ = 0;
   StallReporter reporter_;
@@ -190,8 +193,8 @@ class Simulator {
   Time hook_interval_ = 0;
   Time next_hook_at_ = 0;
   int crashed_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t trace_hash_ = 0x9e3779b97f4a7c15ULL;
 };
 
 inline void RankTask::promise_type::FinalAwaiter::await_suspend(

@@ -1,0 +1,125 @@
+#include "mel/sim/event_queue.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace mel::sim {
+
+void EventQueue::route(Key k) {
+  if (run_head_ < run_.size()) {
+    const Time tail = run_.back().t;
+    if (k.t >= tail) {
+      // Dominant pattern: monotone (or same-timestamp batch) scheduling.
+      // Safe to append only while it stays below everything still parked
+      // in the wheel/overflow (strictly: equal keys would pop after the
+      // indexed event despite the larger sequence being unreachable —
+      // equal-time ordering must fall through to indexed placement).
+      if (k.t < floor_lb_) {
+        run_.push_back(k);
+        return;
+      }
+    } else {
+      // Earlier than the live run's tail: wakes and deliveries stamped
+      // with per-rank clocks while the run still holds the rest of its
+      // epoch. Inserting into the live run would memmove O(run) per push
+      // — quadratic when many ranks share an epoch — so these go to the
+      // overlay heap instead. Rank-local clocks make the times arrive in
+      // near- but not strictly-ascending order; a min-heap sifts an
+      // ascending key zero levels and a stale one O(log n) levels, and
+      // only 24-byte keys move — the closure sits still in the slab. Seq
+      // breaks ties, so FIFO order is exact. Pop merges lanes by head-min.
+      ovl_heap_.push_back(k);
+      std::push_heap(ovl_heap_.begin(), ovl_heap_.end(), key_after);
+      return;
+    }
+  } else if (epoch_of(k.t) <= cur_epoch_) {
+    // Run empty and the event's epoch is already current or past: it must
+    // run before any indexed epoch (all > cur_epoch_ by invariant A).
+    run_.push_back(k);
+    return;
+  }
+  place_indexed(k);
+}
+
+void EventQueue::place_indexed(Key k) {
+  // Caller guarantees epoch(k.t) > cur_epoch_ (invariant A).
+  const std::int64_t e = epoch_of(k.t);
+  if (k.t < floor_lb_) floor_lb_ = k.t;
+  if (e - cur_epoch_ <= static_cast<std::int64_t>(kSlots)) {
+    const auto slot = static_cast<std::size_t>(e) & (kSlots - 1);
+    if (wheel_[slot].empty()) {
+      bitmap_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    }
+    wheel_[slot].push_back(k);
+    ++wheel_count_;
+  } else {
+    overflow_.push_back(k);
+    std::push_heap(overflow_.begin(), overflow_.end(), key_after);
+  }
+}
+
+std::int64_t EventQueue::next_wheel_epoch() const noexcept {
+  if (wheel_count_ == 0) return -1;
+  const auto start =
+      static_cast<std::size_t>(cur_epoch_ + 1) & (kSlots - 1);
+  std::size_t scanned = 0;
+  while (scanned < kSlots) {
+    const std::size_t slot = (start + scanned) & (kSlots - 1);
+    const std::size_t word = slot >> 6;
+    const std::size_t bit = slot & 63;
+    const std::uint64_t w = bitmap_[word] >> bit;
+    if (w != 0) {
+      const std::size_t dist = scanned + std::countr_zero(w) + 1;
+      return cur_epoch_ + static_cast<std::int64_t>(dist);
+    }
+    scanned += 64 - bit;
+  }
+  return -1;
+}
+
+void EventQueue::refill() {
+  assert(size_ > 0 && "refill on an empty queue");
+  assert(ovl_heap_.empty() && "refill with a live overlay lane");
+  run_.clear();
+  run_head_ = 0;
+
+  const std::int64_t e_wheel = next_wheel_epoch();
+  const std::int64_t e_over =
+      overflow_.empty() ? -1 : epoch_of(overflow_.front().t);
+  std::int64_t e;
+  if (e_wheel < 0) {
+    e = e_over;
+  } else if (e_over < 0) {
+    e = e_wheel;
+  } else {
+    e = std::min(e_wheel, e_over);
+  }
+  assert(e > cur_epoch_);
+  cur_epoch_ = e;
+
+  if (e_wheel == e) {
+    const auto slot = static_cast<std::size_t>(e) & (kSlots - 1);
+    auto& bucket = wheel_[slot];
+    wheel_count_ -= bucket.size();
+    run_.insert(run_.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+    bitmap_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+  // Advancing the window may bring spilled epochs inside the wheel
+  // horizon; only this epoch's spill must drain now, the rest stays (it
+  // migrates on its epoch's refill, or never — order is by (t, seq) pops
+  // from the heap either way).
+  while (!overflow_.empty() && epoch_of(overflow_.front().t) == e) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), key_after);
+    run_.push_back(overflow_.back());
+    overflow_.pop_back();
+  }
+  std::sort(run_.begin(), run_.end(), key_less);
+
+  floor_lb_ = wheel_count_ > 0 ? (e + 1) << kSlotShift : kNoFloor;
+  if (!overflow_.empty() && overflow_.front().t < floor_lb_) {
+    floor_lb_ = overflow_.front().t;
+  }
+}
+
+}  // namespace mel::sim

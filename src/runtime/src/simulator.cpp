@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "mel/prof/prof.hpp"
 #include "mel/util/log.hpp"
+#include "mel/util/rng.hpp"
 
 namespace mel::sim {
 
@@ -40,18 +42,17 @@ void Simulator::spawn(Rank rank, RankTask task) {
   });
 }
 
-void Simulator::schedule(Time t, std::function<void()> fn) {
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
 void Simulator::wake(const Parked& parked, Time t) {
-  schedule(t, [this, parked, t] {
+  // The wake time reaches the closure as the event's own timestamp — no
+  // second capture of t, and the closure stays within EventFn's inline
+  // buffer.
+  schedule(t, [this, parked](Time at) {
     auto& st = ranks_[parked.rank];
     // A killed rank is never resumed: its coroutine stays frozen at the
     // suspension point forever (fail-stop), frame destroyed at shutdown.
     if (st.crashed) return;
-    st.clock = std::max(st.clock, t);
-    st.last_resume = t;
+    st.clock = std::max(st.clock, at);
+    st.last_resume = at;
     parked.handle.resume();
     note_rank_error(parked.rank);
   });
@@ -88,28 +89,32 @@ void Simulator::note_rank_error(Rank rank) {
 }
 
 void Simulator::run() {
+  // Inclusive wall time of the whole drive loop; subsystem sections
+  // (P2P, RMA, ...) nest inside it.
+  const prof::ScopedTimer pt(prof::Section::kEventLoop);
   while (!queue_.empty()) {
-    // priority_queue::top returns const&; the event is move-only in spirit,
-    // so copy out the pieces before popping.
-    const Event& top = queue_.top();
+    const auto& top = queue_.peek();
+    const Time t = top.t;
     // Fire the periodic hook for every boundary the next event crosses.
-    // The hook must not schedule events, so `top` stays valid.
-    while (hook_ && top.t >= next_hook_at_) {
+    // The hook must not schedule events, so the peeked event stays next.
+    while (hook_ && t >= next_hook_at_) {
       hook_(next_hook_at_);
       next_hook_at_ += hook_interval_;
     }
-    if (horizon_ > 0 && top.t > horizon_) {
+    if (horizon_ > 0 && t > horizon_) {
       std::ostringstream os;
-      os << "watchdog: next event at t=" << top.t
+      os << "watchdog: next event at t=" << t
          << "ns exceeds the virtual-time horizon of " << horizon_ << "ns\n"
          << progress_report();
       throw WatchdogError(os.str());
     }
-    now_ = std::max(now_, top.t);
-    auto fn = std::move(const_cast<Event&>(top).fn);
-    queue_.pop();
+    now_ = std::max(now_, t);
+    trace_hash_ = util::hash_combine(
+        trace_hash_, util::hash_combine(static_cast<std::uint64_t>(t),
+                                        top.seq));
+    EventQueue::Event ev = queue_.pop();
     ++events_executed_;
-    fn();
+    ev.fn(t);
     // Propagate rank exceptions eagerly so a failing assertion inside a
     // rank coroutine surfaces at the right virtual time.
     if (error_) std::rethrow_exception(error_);

@@ -1,0 +1,125 @@
+// Ref-counted pooled byte buffer for the simulated-MPI hot path.
+//
+// A Buffer is a single-pointer handle to a reference-counted block drawn
+// from per-size-class free lists, so the substrate's steady state recycles
+// payload memory instead of hitting the global allocator once per message
+// (the old std::vector<std::byte> payloads were the dominant allocation
+// source). Copying a Buffer bumps a refcount — the same payload block can
+// sit in a sender's retransmit queue, an in-flight delivery closure, and a
+// receiver mailbox simultaneously without being duplicated, which is what
+// makes "one copy end-to-end" possible for isend / put / neighborhood
+// slices. Writers that need to mutate a shared payload (the fault
+// injector's byte flip) clone first: copy-on-write, never in-place.
+//
+// The pool is process-global and deliberately NOT thread-safe: the whole
+// simulator is single-threaded by construction, and the refcount is a
+// plain integer for the same reason.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mel::util {
+
+class Buffer {
+ public:
+  /// Empty buffer: no block, size 0, data() == nullptr.
+  constexpr Buffer() noexcept = default;
+
+  /// A fresh uniquely-owned block with `n` uninitialized payload bytes
+  /// (from the pool's free list when one of the right class is available).
+  static Buffer alloc(std::size_t n);
+
+  /// A fresh block holding a copy of `bytes` — the single payload copy a
+  /// message pays end-to-end.
+  static Buffer copy_of(std::span<const std::byte> bytes);
+
+  Buffer(const Buffer& o) noexcept : block_(o.block_) { retain(); }
+  Buffer(Buffer&& o) noexcept : block_(o.block_) { o.block_ = nullptr; }
+  Buffer& operator=(const Buffer& o) noexcept {
+    if (block_ != o.block_) {
+      release();
+      block_ = o.block_;
+      retain();
+    }
+    return *this;
+  }
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      block_ = o.block_;
+      o.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~Buffer() { release(); }
+
+  std::size_t size() const noexcept { return block_ ? block_->size : 0; }
+  bool empty() const noexcept { return size() == 0; }
+  const std::byte* data() const noexcept {
+    return block_ ? payload(block_) : nullptr;
+  }
+
+  std::span<const std::byte> span() const noexcept { return {data(), size()}; }
+  operator std::span<const std::byte>() const noexcept { return span(); }
+
+  /// True when this handle is the only reference to the block (or empty).
+  bool unique() const noexcept { return block_ == nullptr || block_->refs == 1; }
+
+  /// Writable payload. Only legal on a uniquely-owned buffer — mutating a
+  /// shared block would corrupt every other holder (e.g. a retransmit
+  /// queue still relying on the original bytes). Throws std::logic_error
+  /// on a shared block.
+  std::byte* mutable_data();
+
+  /// Deep copy into a fresh uniquely-owned block (copy-on-write helper).
+  Buffer clone() const;
+
+  friend bool operator==(const Buffer& a, const Buffer& b) noexcept {
+    if (a.size() != b.size()) return false;
+    if (a.block_ == b.block_ || a.size() == 0) return true;
+    return __builtin_memcmp(a.data(), b.data(), a.size()) == 0;
+  }
+
+  // -- Pool introspection (tests, --host-profile) ---------------------------
+  struct PoolStats {
+    std::uint64_t allocs = 0;      // blocks handed out
+    std::uint64_t pool_hits = 0;   // ... of which came from a free list
+    std::uint64_t oversized = 0;   // > max size class, malloc'd directly
+    std::uint64_t live_blocks = 0; // handed out and not yet released
+    std::uint64_t free_blocks = 0; // parked on free lists
+  };
+  static PoolStats pool_stats();
+
+  /// Release every block parked on the free lists back to the allocator
+  /// (test hygiene; live blocks are unaffected).
+  static void trim_pool();
+
+ private:
+  struct Block {
+    std::uint32_t refs;
+    std::uint8_t size_class;  // index into the free lists; kOversized = raw
+    std::size_t size;         // payload bytes in use
+  };
+  static constexpr std::uint8_t kOversized = 0xff;
+
+  static std::byte* payload(Block* b) noexcept {
+    return reinterpret_cast<std::byte*>(b) + kHeaderBytes;
+  }
+  // Payload starts one max-aligned unit past the header.
+  static constexpr std::size_t kHeaderBytes =
+      (sizeof(Block) + alignof(std::max_align_t) - 1) /
+      alignof(std::max_align_t) * alignof(std::max_align_t);
+
+  void retain() noexcept {
+    if (block_ != nullptr) ++block_->refs;
+  }
+  void release() noexcept;
+
+  explicit Buffer(Block* b) noexcept : block_(b) {}
+
+  Block* block_ = nullptr;
+};
+
+}  // namespace mel::util

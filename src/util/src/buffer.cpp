@@ -1,0 +1,114 @@
+#include "mel/util/buffer.hpp"
+
+#include <bit>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+namespace mel::util {
+
+namespace {
+
+// Pow2 size classes 64 B .. 1 MiB; anything larger bypasses the pool.
+constexpr std::size_t kMinClassBytes = 64;
+constexpr std::size_t kNumClasses = 15;  // 64 << 14 == 1 MiB
+
+constexpr std::size_t class_bytes(std::size_t cls) {
+  return kMinClassBytes << cls;
+}
+
+std::size_t class_for(std::size_t n) {
+  if (n <= kMinClassBytes) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(n - 1) - std::bit_width(kMinClassBytes - 1));
+}
+
+struct Pool {
+  std::vector<void*> free_list[kNumClasses];
+  Buffer::PoolStats stats;
+
+  ~Pool() {
+    for (auto& fl : free_list) {
+      for (void* p : fl) ::operator delete(p);
+    }
+  }
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+Buffer Buffer::alloc(std::size_t n) {
+  if (n == 0) return Buffer{};
+  Pool& p = pool();
+  ++p.stats.allocs;
+  ++p.stats.live_blocks;
+  Block* b = nullptr;
+  const std::size_t cls = class_for(n);
+  if (cls < kNumClasses) {
+    auto& fl = p.free_list[cls];
+    if (!fl.empty()) {
+      ++p.stats.pool_hits;
+      --p.stats.free_blocks;
+      b = static_cast<Block*>(fl.back());
+      fl.pop_back();
+    } else {
+      b = static_cast<Block*>(::operator new(kHeaderBytes + class_bytes(cls)));
+    }
+    b->size_class = static_cast<std::uint8_t>(cls);
+  } else {
+    ++p.stats.oversized;
+    b = static_cast<Block*>(::operator new(kHeaderBytes + n));
+    b->size_class = kOversized;
+  }
+  b->refs = 1;
+  b->size = n;
+  return Buffer{b};
+}
+
+Buffer Buffer::copy_of(std::span<const std::byte> bytes) {
+  Buffer b = alloc(bytes.size());
+  if (!bytes.empty()) std::memcpy(payload(b.block_), bytes.data(), bytes.size());
+  return b;
+}
+
+void Buffer::release() noexcept {
+  if (block_ == nullptr || --block_->refs != 0) return;
+  Pool& p = pool();
+  --p.stats.live_blocks;
+  if (block_->size_class == kOversized) {
+    ::operator delete(block_);
+  } else {
+    ++p.stats.free_blocks;
+    p.free_list[block_->size_class].push_back(block_);
+  }
+  block_ = nullptr;
+}
+
+std::byte* Buffer::mutable_data() {
+  if (block_ == nullptr) return nullptr;
+  if (block_->refs != 1) {
+    throw std::logic_error(
+        "Buffer::mutable_data on a shared block — clone() first");
+  }
+  return payload(block_);
+}
+
+Buffer Buffer::clone() const { return copy_of(span()); }
+
+Buffer::PoolStats Buffer::pool_stats() { return pool().stats; }
+
+void Buffer::trim_pool() {
+  Pool& p = pool();
+  for (auto& fl : p.free_list) {
+    for (void* q : fl) ::operator delete(q);
+    fl.clear();
+  }
+  p.stats.free_blocks = 0;
+}
+
+}  // namespace mel::util

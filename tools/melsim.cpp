@@ -22,6 +22,7 @@
 #include "mel/match/verify.hpp"
 #include "mel/order/rcm.hpp"
 #include "mel/perf/energy.hpp"
+#include "mel/prof/prof.hpp"
 #include "mel/perf/report.hpp"
 #include "mel/perf/trace.hpp"
 #include "mel/util/cli.hpp"
@@ -76,6 +77,10 @@ constexpr Flag kFlags[] = {
      "checkpoint interval for crash recovery, in virtual ns (0=off)"},
     {"watchdog-horizon", "NS", "abort if virtual time exceeds NS (0=off)"},
     {"no-audit", "", "disable finalize-time invariant audits"},
+    {"host-profile", "",
+     "measure host wall time per substrate subsystem; print a table"},
+    {"host-profile-json", "FILE",
+     "like --host-profile but write the breakdown as JSON to FILE"},
 };
 
 void print_usage(std::FILE* out) {
@@ -161,6 +166,10 @@ int run(const util::Cli& cli) {
   const auto model = parse_model(cli.get("model", "NCL"));
   const int ranks = static_cast<int>(cli.get_int("ranks", 64));
   const bool csv = cli.get_bool("csv", false);
+
+  const bool host_profile =
+      cli.get_bool("host-profile", false) || cli.has("host-profile-json");
+  if (host_profile) prof::set_enabled(true);
 
   graph::Csr g = load_graph(cli);
   if (cli.get_bool("rcm", false)) g = g.permuted(order::rcm(g));
@@ -277,6 +286,24 @@ int run(const util::Cli& cli) {
     if (!csv) {
       std::printf("trace: %zu events -> %s\n", tracer.events().size(),
                   cli.get("trace", "trace.json").c_str());
+    }
+  }
+  if (host_profile) {
+    if (cli.has("host-profile-json")) {
+      const std::string path = cli.get("host-profile-json", "");
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "melsim: cannot write --host-profile-json %s\n",
+                     path.c_str());
+        return 2;
+      }
+      const auto text = prof::report_json();
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      if (!csv) std::printf("host profile -> %s\n", path.c_str());
+    }
+    if (cli.get_bool("host-profile", false)) {
+      std::printf("%s", prof::report().c_str());
     }
   }
   return 0;
