@@ -6,6 +6,7 @@
 #include "common.hpp"
 
 #include "mel/bfs/bfs.hpp"
+#include "mel/obs/analysis.hpp"
 #include "mel/perf/report.hpp"
 
 using namespace mel;
@@ -47,6 +48,14 @@ int main(int argc, char** argv) {
                 perf::matrix_csv(*match_run.matrix, false).c_str());
     std::printf("\n# bfs matrix CSV\n%s",
                 perf::matrix_csv(*bfs_run.matrix, false).c_str());
+  }
+  if (cli.get_bool("json", false)) {
+    // Canonical serialization shared with `meltrace matrix`, so the
+    // trace-reconstruction cross-check is exact byte equality.
+    std::printf("\n# matching matrix JSON\n%s\n",
+                obs::matrix_json(*match_run.matrix).c_str());
+    std::printf("\n# bfs matrix JSON\n%s\n",
+                obs::matrix_json(*bfs_run.matrix).c_str());
   }
   return 0;
 }

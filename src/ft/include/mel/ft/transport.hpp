@@ -49,6 +49,11 @@ enum class Stat {
   kAck,             // receiver sent an acknowledgement
 };
 
+/// Observability flow id threaded from the MPI layer through the transport
+/// so retransmits/acks/abandonments land on the originating message's flow
+/// (mirrors mpi::FlowId; duplicated to keep the dependency one-way).
+using FlowId = std::uint32_t;
+
 /// Callbacks into the MPI layer (implemented by mpi::Machine).
 class Host {
  public:
@@ -57,10 +62,12 @@ class Host {
   /// Hand one reliable, in-order segment to the MPI layer: schedule its
   /// mailbox delivery at `arrive_at` and settle in-flight accounting.
   virtual void ft_deliver(Rank src, Rank dst, int tag, util::Buffer payload,
-                          Time sent_at, Time arrive_at) = 0;
+                          Time sent_at, Time arrive_at, FlowId flow) = 0;
 
-  /// Tally one transport event on `rank`'s counters.
-  virtual void ft_count(Rank rank, Stat stat) = 0;
+  /// Tally one transport event on `rank`'s counters at virtual time `t`;
+  /// `flow` identifies the segment's message flow (0 = ack-timer cleanup
+  /// and other events with no single owning segment).
+  virtual void ft_count(Rank rank, Stat stat, FlowId flow, Time t) = 0;
 
   /// Price `ns` of NIC/progress-engine work (retransmit posts, ack sends)
   /// into `rank`'s communication time.
@@ -68,7 +75,8 @@ class Host {
 
   /// A segment posted by `src` was abandoned because its destination
   /// failed; the host settles conservation and in-flight accounting.
-  virtual void ft_abandoned(Rank src, std::size_t payload_bytes) = 0;
+  virtual void ft_abandoned(Rank src, std::size_t payload_bytes,
+                            FlowId flow) = 0;
 
   /// ULFM-style failure query.
   virtual bool ft_rank_failed(Rank rank) const = 0;
@@ -95,8 +103,10 @@ class Transport {
 
   /// Accept one payload from the MPI layer at the sender's current clock;
   /// the transport guarantees exactly-once in-order delivery per channel
-  /// (or abandonment if the destination fails).
-  void send(Rank src, Rank dst, int tag, std::span<const std::byte> data);
+  /// (or abandonment if the destination fails). `flow` is the message's
+  /// observability flow id (0 when untraced).
+  void send(Rank src, Rank dst, int tag, std::span<const std::byte> data,
+            FlowId flow = 0);
 
   /// Failure notification: abandon unacknowledged segments to the dead
   /// rank and discard its reorder buffers; stops retransmission.
@@ -109,16 +119,22 @@ class Transport {
   /// Unacknowledged segments across all channels (diagnostics).
   std::uint64_t pending_segments() const;
 
+  /// Unacknowledged segments posted by one sender rank (the per-rank
+  /// retransmit-queue gauge sampled by the observability layer).
+  std::uint64_t pending_segments_from(Rank src) const;
+
  private:
   struct Pending {
     util::Buffer payload;
     std::uint32_t crc = 0;
     Time first_posted = 0;
     int attempts = 0;  // copies sent so far
+    FlowId flow = 0;
   };
   struct HeldSeg {
     util::Buffer payload;
     Time sent_at = 0;
+    FlowId flow = 0;
   };
   struct Channel {
     Rank src = -1;
@@ -135,8 +151,9 @@ class Transport {
   Channel& channel(Rank src, Rank dst, int tag);
   void attempt(Channel& ch, std::uint64_t seq, Time t);
   void arrive(Channel& ch, std::uint64_t seq, util::Buffer payload,
-              std::uint32_t crc, bool corrupt, Time t, Time sent_at);
-  void send_ack(Channel& ch, std::uint64_t seq, Time t);
+              std::uint32_t crc, bool corrupt, Time t, Time sent_at,
+              FlowId flow);
+  void send_ack(Channel& ch, std::uint64_t seq, Time t, FlowId flow);
   void abandon(Channel& ch, std::uint64_t seq);
   Time rto(const Channel& ch, std::uint64_t seq, int attempt) const;
 

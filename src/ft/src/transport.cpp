@@ -42,7 +42,7 @@ Transport::Channel& Transport::channel(Rank src, Rank dst, int tag) {
 }
 
 void Transport::send(Rank src, Rank dst, int tag,
-                     std::span<const std::byte> data) {
+                     std::span<const std::byte> data, FlowId flow) {
   const prof::ScopedTimer pt(prof::Section::kTransport);
   Channel& ch = channel(src, dst, tag);
   const std::uint64_t seq = ch.next_seq++;
@@ -52,6 +52,7 @@ void Transport::send(Rank src, Rank dst, int tag,
   pe.payload = util::Buffer::copy_of(data);
   pe.crc = util::crc32(data);
   pe.first_posted = sim_.rank_now(src);
+  pe.flow = flow;
   ch.pending.emplace(seq, std::move(pe));
   attempt(ch, seq, sim_.rank_now(src));
 }
@@ -72,7 +73,7 @@ Time Transport::rto(const Channel& ch, std::uint64_t seq, int attempt) const {
 void Transport::abandon(Channel& ch, std::uint64_t seq) {
   auto it = ch.pending.find(seq);
   if (it == ch.pending.end()) return;
-  host_.ft_abandoned(ch.src, it->second.payload.size());
+  host_.ft_abandoned(ch.src, it->second.payload.size(), it->second.flow);
   ch.pending.erase(it);
 }
 
@@ -92,7 +93,7 @@ void Transport::attempt(Channel& ch, std::uint64_t seq, Time t) {
   if (n > 0) {
     // A retransmission costs another o_send of NIC work and another wire
     // copy — this is where reliability shows up in the cost model.
-    host_.ft_count(ch.src, Stat::kRetransmit);
+    host_.ft_count(ch.src, Stat::kRetransmit, pe.flow, t);
     host_.ft_price(ch.src, net_.params().o_send);
   }
   host_.ft_record_wire(ch.src, ch.dst, wire_bytes);
@@ -100,7 +101,7 @@ void Transport::attempt(Channel& ch, std::uint64_t seq, Time t) {
   const bool lost =
       chaos_ != nullptr && chaos_->wire_lost(ch.src, ch.dst, ch.tag, seq, n);
   if (lost) {
-    host_.ft_count(ch.src, Stat::kDropped);
+    host_.ft_count(ch.src, Stat::kDropped, pe.flow, t);
   } else {
     const bool corrupt = chaos_ != nullptr &&
                          chaos_->wire_corrupted(ch.src, ch.dst, ch.tag, seq, n);
@@ -111,8 +112,9 @@ void Transport::attempt(Channel& ch, std::uint64_t seq, Time t) {
     const Time at = t + wire;
     auto deliver_copy = [this, &ch, seq, corrupt](Time when, const Pending& p) {
       sim_.schedule(when, [this, &ch, seq, corrupt, when, payload = p.payload,
-                           crc = p.crc, sent_at = p.first_posted]() mutable {
-        arrive(ch, seq, std::move(payload), crc, corrupt, when, sent_at);
+                           crc = p.crc, sent_at = p.first_posted,
+                           flow = p.flow]() mutable {
+        arrive(ch, seq, std::move(payload), crc, corrupt, when, sent_at, flow);
       });
     };
     deliver_copy(at, pe);
@@ -148,7 +150,8 @@ void Transport::attempt(Channel& ch, std::uint64_t seq, Time t) {
 }
 
 void Transport::arrive(Channel& ch, std::uint64_t seq, util::Buffer payload,
-                       std::uint32_t crc, bool corrupt, Time t, Time sent_at) {
+                       std::uint32_t crc, bool corrupt, Time t, Time sent_at,
+                       FlowId flow) {
   const prof::ScopedTimer pt(prof::Section::kTransport);
   if (host_.ft_rank_failed(ch.dst)) return;  // dead NIC; sender will abandon
   if (corrupt) {
@@ -166,19 +169,19 @@ void Transport::arrive(Channel& ch, std::uint64_t seq, util::Buffer payload,
       payload.mutable_data()[pos] ^= std::byte{0x40};
     }
     if (payload.empty() || util::crc32(payload) != crc) {
-      host_.ft_count(ch.dst, Stat::kCorruptDetected);
+      host_.ft_count(ch.dst, Stat::kCorruptDetected, flow, t);
       return;  // no ack: the sender's timer repairs it
     }
   }
   if (seq < ch.next_deliver || ch.held.find(seq) != ch.held.end()) {
     // Already seen (network duplicate, or a retransmit racing a lost
     // ack): filter it and re-ack so the sender's timer stops.
-    host_.ft_count(ch.dst, Stat::kDupFiltered);
-    send_ack(ch, seq, t);
+    host_.ft_count(ch.dst, Stat::kDupFiltered, flow, t);
+    send_ack(ch, seq, t, flow);
     return;
   }
-  ch.held.emplace(seq, HeldSeg{std::move(payload), sent_at});
-  send_ack(ch, seq, t);
+  ch.held.emplace(seq, HeldSeg{std::move(payload), sent_at, flow});
+  send_ack(ch, seq, t, flow);
   // Release every now-in-order segment to the MPI layer. Strictly
   // increasing arrival stamps per channel preserve MPI non-overtaking.
   while (true) {
@@ -186,21 +189,21 @@ void Transport::arrive(Channel& ch, std::uint64_t seq, util::Buffer payload,
     if (it == ch.held.end()) break;
     const Time at = std::max(t, ch.last_deliver + 1);
     host_.ft_deliver(ch.src, ch.dst, ch.tag, std::move(it->second.payload),
-                     it->second.sent_at, at);
+                     it->second.sent_at, at, it->second.flow);
     ch.last_deliver = at;
     ch.held.erase(it);
     ++ch.next_deliver;
   }
 }
 
-void Transport::send_ack(Channel& ch, std::uint64_t seq, Time t) {
-  host_.ft_count(ch.dst, Stat::kAck);
+void Transport::send_ack(Channel& ch, std::uint64_t seq, Time t, FlowId flow) {
+  host_.ft_count(ch.dst, Stat::kAck, flow, t);
   host_.ft_price(ch.dst, net_.params().o_ack);
   host_.ft_record_wire(ch.dst, ch.src, kAckBytes);
   const std::uint64_t ack_no = ch.acks_sent++;
   if (chaos_ != nullptr &&
       chaos_->ack_lost(ch.src, ch.dst, ch.tag, seq, ack_no)) {
-    host_.ft_count(ch.dst, Stat::kDropped);
+    host_.ft_count(ch.dst, Stat::kDropped, flow, t);
     return;  // the sender retransmits; the receiver dedups
   }
   const Time wire = net_.transfer_time(ch.dst, ch.src, kAckBytes);
@@ -225,6 +228,14 @@ bool Transport::idle() const {
 std::uint64_t Transport::pending_segments() const {
   std::uint64_t n = 0;
   for (const auto& [key, ch] : channels_) n += ch.pending.size();
+  return n;
+}
+
+std::uint64_t Transport::pending_segments_from(Rank src) const {
+  std::uint64_t n = 0;
+  for (const auto& [key, ch] : channels_) {
+    if (ch.src == src) n += ch.pending.size();
+  }
   return n;
 }
 

@@ -24,8 +24,13 @@ struct RunConfig {
   net::Params net{};
   /// Keep a copy of the (src, dst) communication matrix (O(p^2) memory).
   bool collect_matrix = false;
-  /// Optional per-operation timeline sink (see perf::ChromeTracer).
+  /// Optional per-operation timeline sink (see perf::ChromeTracer and
+  /// obs::Recorder).
   mpi::Tracer* tracer = nullptr;
+  /// Periodic gauge sampling (mailbox depth, in-flight bytes, event-queue
+  /// size) into the tracer's counter tracks, every this many virtual ns.
+  /// 0 disables; ignored without a tracer.
+  sim::Time sample_interval_ns = 0;
   /// Run the substrate invariant auditor at finalize and throw on any
   /// violation (byte conservation, mailbox/window accounting; see
   /// mpi::Machine::audit). Cheap — on by default.

@@ -98,6 +98,7 @@ sim::RankTask nsr_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
   eng.start();
   flush_outbox();
 
+  std::uint64_t turns = 0;
   while (eng.active_cross() > 0) {
     bool received_any = false;
     // Nonblocking probe loop; receive and process one message at a time
@@ -112,6 +113,7 @@ sim::RankTask nsr_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
       ++processed;
       received_any = true;
     }
+    comm.obs_iteration(++turns, eng.active_cross());
     if (eng.active_cross() == 0) break;
     // Nothing arrived and edges are still pending: block for progress
     // instead of spinning on Iprobe.
@@ -169,6 +171,7 @@ sim::RankTask nsr_agg_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
   eng.start();
   flush_staged();
 
+  std::uint64_t turns = 0;
   while (eng.active_cross() > 0) {
     bool received_any = false;
     while (auto env = comm.iprobe()) {
@@ -181,6 +184,7 @@ sim::RankTask nsr_agg_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
       received_any = true;
     }
     flush_staged();
+    comm.obs_iteration(++turns, eng.active_cross());
     if (eng.active_cross() == 0) break;
     if (!received_any) co_await comm.wait_message();
   }
@@ -269,6 +273,7 @@ sim::RankTask rma_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
     // Exit needs a global reduction (paper §V-D): a rank with no active
     // edges may still owe answers that only exist as other ranks' state.
     const std::int64_t remaining = co_await comm.allreduce_sum(eng.active_cross());
+    comm.obs_iteration(rounds, remaining);
     if (remaining == 0) break;
   }
 
@@ -368,6 +373,7 @@ sim::RankTask rma_fence_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
 
     const std::int64_t remaining =
         co_await comm.allreduce_sum(eng.active_cross());
+    comm.obs_iteration(rounds, remaining);
     if (remaining == 0) break;
   }
 
@@ -432,6 +438,7 @@ sim::RankTask ncl_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
     eng.drain_local();
 
     const std::int64_t remaining = co_await comm.allreduce_sum(eng.active_cross());
+    comm.obs_iteration(rounds, remaining);
     if (remaining == 0) break;
   }
 
@@ -494,6 +501,7 @@ sim::RankTask ncl_nb_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
 
     const std::int64_t remaining =
         co_await comm.allreduce_sum(eng.active_cross());
+    comm.obs_iteration(rounds, remaining);
     if (remaining == 0) break;
   }
 

@@ -56,7 +56,12 @@ Attempt run_once(const graph::DistGraph& dg, Model model,
   for (Rank r = 0; r < p; ++r) {
     machine.set_topology(r, dg.local(r).neighbor_ranks);
   }
-  if (cfg.tracer != nullptr) machine.set_tracer(cfg.tracer);
+  if (cfg.tracer != nullptr) {
+    machine.set_tracer(cfg.tracer);
+    if (cfg.sample_interval_ns > 0) {
+      machine.enable_sampling(cfg.sample_interval_ns);
+    }
+  }
 
   // RMA window allocation (host side, like MPI_Win_allocate at startup).
   int window_id = -1;
@@ -127,6 +132,7 @@ Attempt run_once(const graph::DistGraph& dg, Model model,
       }
       a.ckpt.valid = true;
       a.ckpt.at = t;
+      machine.trace_instant(-1, "checkpoint", t);
     });
   }
 

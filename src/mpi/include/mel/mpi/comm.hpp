@@ -458,6 +458,14 @@ class Comm {
   /// This rank's local virtual clock.
   Time now() const { return m_.simulator().rank_now(rank_); }
 
+  // -- Observability -------------------------------------------------------
+  /// Report one algorithm iteration (round / progress turn) to the tracer:
+  /// the recorder snapshots this rank's cumulative counters and emits
+  /// per-iteration deltas. Purely observational — no virtual-time effect.
+  void obs_iteration(std::uint64_t iter, std::int64_t active) {
+    m_.trace_iteration(rank_, iter, active);
+  }
+
  private:
   Machine& m_;
   Rank rank_;

@@ -38,15 +38,69 @@ class RankFailedError : public std::runtime_error {
       : std::runtime_error(std::move(what)) {}
 };
 
-/// Optional per-operation trace sink (see perf::ChromeTracer). Invoked
+/// Channel class a simulated message travels on; tags every flow so the
+/// observability layer can attribute traffic per communication model.
+enum class Channel : std::uint8_t {
+  kP2P,       // plain point-to-point isend/recv
+  kRma,       // one-sided put
+  kNeighbor,  // neighborhood-collective slice
+  kFt,        // p2p routed through the reliable (ack/retransmit) transport
+};
+
+/// Unique per-message flow id, assigned at injection (isend/put/slice).
+/// 0 means "no flow" (message predates tracer-relevant instrumentation).
+using FlowId = std::uint32_t;
+
+/// Optional structured trace sink (see perf::ChromeTracer for the span-only
+/// implementation and obs::Recorder for the full one). record() is invoked
 /// with the rank, an operation category ("isend", "recv", "ncoll",
 /// "allreduce", "put", "flush", "fence", "compute", ...), and the
-/// operation's virtual [start, end) interval.
+/// operation's virtual [start, end) interval. The remaining hooks default
+/// to no-ops so span-only sinks keep working: flow_* follow one message
+/// from injection through delivery to receive/match, wire() mirrors every
+/// CommMatrix record, counter() carries periodic gauge samples, instant()
+/// marks point events (crashes, checkpoints, transport faults), and
+/// iteration() carries per-backend-iteration phase metrics.
 class Tracer {
  public:
   virtual ~Tracer() = default;
   virtual void record(Rank rank, const char* category, Time start,
                       Time end) = 0;
+  /// Point event on a rank's timeline (rank -1 = whole machine); `flow`
+  /// links it to a message flow when nonzero.
+  virtual void instant(Rank rank, const char* name, Time t, FlowId flow) {
+    (void)rank, (void)name, (void)t, (void)flow;
+  }
+  /// A message enters the network on `channel` at time t.
+  virtual void flow_begin(FlowId flow, Channel channel, Rank src, Rank dst,
+                          int tag, std::size_t bytes, Time t) {
+    (void)flow, (void)channel, (void)src, (void)dst, (void)tag, (void)bytes,
+        (void)t;
+  }
+  /// The message reached `rank`'s mailbox (network delivery) at time t.
+  virtual void flow_step(FlowId flow, Rank rank, Time t) {
+    (void)flow, (void)rank, (void)t;
+  }
+  /// The message was consumed (received/matched/landed) on `rank`.
+  virtual void flow_end(FlowId flow, Rank rank, Time t) {
+    (void)flow, (void)rank, (void)t;
+  }
+  /// One wire transfer as recorded in the communication matrix (includes
+  /// retransmit copies and acks under the reliable transport).
+  virtual void wire(Rank src, Rank dst, std::size_t bytes, Time t) {
+    (void)src, (void)dst, (void)bytes, (void)t;
+  }
+  /// Periodic gauge sample (rank -1 = machine-global, e.g. event queue).
+  virtual void counter(Rank rank, const char* name, Time t,
+                       std::uint64_t value) {
+    (void)rank, (void)name, (void)t, (void)value;
+  }
+  /// One backend iteration finished on `rank` with `active` cross edges
+  /// still undecided; `c` is the rank's cumulative counter snapshot.
+  virtual void iteration(Rank rank, std::uint64_t iter, std::int64_t active,
+                         const CommCounters& c, Time t) {
+    (void)rank, (void)iter, (void)active, (void)c, (void)t;
+  }
 };
 
 class Machine : public ft::Host {
@@ -166,10 +220,10 @@ class Machine : public ft::Host {
 
   // -- ft::Host (callbacks from the reliable transport) ---------------------
   void ft_deliver(Rank src, Rank dst, int tag, util::Buffer payload,
-                  Time sent_at, Time arrive_at) override;
-  void ft_count(Rank rank, ft::Stat stat) override;
+                  Time sent_at, Time arrive_at, FlowId flow) override;
+  void ft_count(Rank rank, ft::Stat stat, FlowId flow, Time t) override;
   void ft_price(Rank rank, Time ns) override;
-  void ft_abandoned(Rank src, std::size_t payload_bytes) override;
+  void ft_abandoned(Rank src, std::size_t payload_bytes, FlowId flow) override;
   bool ft_rank_failed(Rank rank) const override { return failed_[rank] != 0; }
   void ft_record_wire(Rank src, Rank dst, std::size_t bytes) override;
 
@@ -277,6 +331,39 @@ class Machine : public ft::Host {
     }
   }
 
+  /// Emit a point event on the tracer (rank -1 = machine-wide). Used by the
+  /// driver for checkpoints/recovery marks so it needs no obs dependency.
+  void trace_instant(Rank rank, const char* name, Time t, FlowId flow = 0) {
+    if (tracer_ != nullptr) tracer_->instant(rank, name, t, flow);
+  }
+
+  /// Emit one per-backend-iteration metrics record for `rank` at its
+  /// current local clock (called via Comm::obs_iteration; purely
+  /// observational — charges nothing, schedules nothing).
+  void trace_iteration(Rank rank, std::uint64_t iter, std::int64_t active) {
+    if (tracer_ != nullptr) {
+      tracer_->iteration(rank, iter, active, counters_[rank],
+                         sim_.rank_now(rank));
+    }
+  }
+
+  /// Sample per-rank gauges (mailbox depth/bytes, in-flight bytes, FT
+  /// retransmit-queue length) and the global event-queue size into the
+  /// tracer every `interval_ns` of virtual time. The hook only reads
+  /// state — it schedules no events and advances no clocks, so enabling it
+  /// cannot perturb the event trace. No-op when interval_ns <= 0.
+  void enable_sampling(Time interval_ns);
+
+  /// Current (not peak) mailbox depth, for sampling and tests.
+  std::uint64_t mailbox_depth_msgs(Rank rank) const {
+    return mailbox_msgs_[rank];
+  }
+  std::size_t mailbox_depth_bytes(Rank rank) const {
+    return mailbox_bytes_[rank];
+  }
+  /// Payload bytes this rank has posted that are still in flight.
+  std::size_t inflight_bytes(Rank rank) const { return inflight_bytes_[rank]; }
+
   void add_comm_time(Rank rank, Time dt) { counters_[rank].comm_ns += dt; }
   void add_compute_time(Rank rank, Time dt) {
     counters_[rank].compute_ns += dt;
@@ -331,6 +418,7 @@ class Machine : public ft::Host {
   std::vector<std::uint64_t> peak_mailbox_msgs_;
   std::vector<std::uint64_t> inflight_sends_;
   std::vector<std::uint64_t> peak_inflight_sends_;
+  std::vector<std::size_t> inflight_bytes_;
   /// Messages delivered after the recipient coroutine already returned
   /// (e.g. crossing REJECTs in the send-recv protocols). Unconsumable by
   /// construction; the auditor tolerates exactly these and nothing more.
@@ -349,6 +437,9 @@ class Machine : public ft::Host {
   std::uint64_t abandoned_payload_bytes_ = 0;
   std::uint64_t puts_scheduled_ = 0;
   std::uint64_t puts_landed_ = 0;
+  /// Next message-flow id; assigned unconditionally (cheap) so flows stay
+  /// identical whether or not a tracer is installed mid-run.
+  FlowId next_flow_ = 0;
 };
 
 }  // namespace mel::mpi

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <stdexcept>
@@ -34,10 +35,15 @@ struct Message {
   Rank src = -1;
   Rank dst = -1;
   int tag = 0;
+  /// Observability flow id (fills the existing padding hole — keeping the
+  /// struct at 40 bytes matters: the isend delivery closure must stay
+  /// within the EventFn inline buffer for the steady-allocation guarantee).
+  std::uint32_t flow = 0;
   util::Buffer data;
   Time sent_at = 0;
   Time arrived_at = 0;
 };
+static_assert(sizeof(Message) == 40, "flow id must live in Message padding");
 
 /// What MPI_Iprobe reveals about a pending message.
 struct Envelope {

@@ -75,6 +75,7 @@ struct Machine::NeighborState {
     Time arrive = 0;
     std::vector<util::Buffer> slices;  // per neighbor of caller
     int consumers_left = 0;
+    std::vector<FlowId> slice_flows;  // parallel to slices
   };
   struct Pending {
     std::uint64_t seq = 0;
@@ -188,6 +189,7 @@ Machine::Machine(sim::Simulator& simulator, net::Network network)
       peak_mailbox_msgs_(net_.nranks(), 0),
       inflight_sends_(net_.nranks(), 0),
       peak_inflight_sends_(net_.nranks(), 0),
+      inflight_bytes_(net_.nranks(), 0),
       dead_letter_msgs_(net_.nranks(), 0),
       dead_letter_bytes_(net_.nranks(), 0),
       failed_(net_.nranks(), 0),
@@ -362,6 +364,13 @@ void Machine::isend(Rank src, Rank dst, int tag,
   const Time isend_start = sim_.rank_now(src);
   sim_.charge(src, p.o_send);
   trace_op(src, "isend", isend_start);
+  const FlowId flow = ++next_flow_;
+  if (tracer_ != nullptr) {
+    tracer_->flow_begin(flow,
+                        transport_ != nullptr ? Channel::kFt : Channel::kP2P,
+                        src, dst, tag, data.size() + kHeaderBytes,
+                        sim_.rank_now(src));
+  }
 
   if (transport_ != nullptr) {
     // Reliable path: the transport sequences, checksums, acks and (under
@@ -371,10 +380,14 @@ void Machine::isend(Rank src, Rank dst, int tag,
     inflight_sends_[src] += 1;
     peak_inflight_sends_[src] =
         std::max(peak_inflight_sends_[src], inflight_sends_[src]);
-    transport_->send(src, dst, tag, data);
+    inflight_bytes_[src] += data.size();
+    transport_->send(src, dst, tag, data, flow);
     return;
   }
   matrix_.record(src, dst, data.size() + kHeaderBytes);
+  if (tracer_ != nullptr) {
+    tracer_->wire(src, dst, data.size() + kHeaderBytes, sim_.rank_now(src));
+  }
 
   Time wire = net_.transfer_time(src, dst, data.size() + kHeaderBytes);
   if (chaos_) wire += chaos_->transfer_jitter(src, dst, tag, wire);
@@ -409,11 +422,14 @@ void Machine::isend(Rank src, Rank dst, int tag,
   msg.data = util::Buffer::copy_of(data);
   msg.sent_at = sim_.rank_now(src);
   msg.arrived_at = arrival;
+  msg.flow = flow;
   inflight_sends_[src] += 1;
   peak_inflight_sends_[src] =
       std::max(peak_inflight_sends_[src], inflight_sends_[src]);
+  inflight_bytes_[src] += data.size();
   sim_.schedule(arrival, [this, src, m = std::move(msg)]() mutable {
     inflight_sends_[src] -= 1;
+    inflight_bytes_[src] -= m.data.size();
     deliver(std::move(m));
   });
 }
@@ -435,6 +451,11 @@ void Machine::deliver(Message msg) {
     // from messages a backend abandoned while it could still read them.
     dead_letter_msgs_[dst] += 1;
     dead_letter_bytes_[dst] += msg.data.size();
+    if (tracer_ != nullptr && msg.flow != 0) {
+      // Close the flow here: nothing will ever recv it.
+      tracer_->flow_end(msg.flow, dst, msg.arrived_at);
+      tracer_->instant(dst, "dead-letter", msg.arrived_at, msg.flow);
+    }
   }
   // Try to satisfy a parked waiter first (in park order).
   for (auto it = box.waiters.begin(); it != box.waiters.end(); ++it) {
@@ -444,6 +465,9 @@ void Machine::deliver(Message msg) {
     t->fired = true;
     if (t->peek_only) {
       // Leave the message in the mailbox for a later recv.
+      if (tracer_ != nullptr && msg.flow != 0) {
+        tracer_->flow_step(msg.flow, dst, msg.arrived_at);
+      }
       enqueue_accounting(dst, msg.data.size());
       const Time wake_at = std::max(t->parked_clock, msg.arrived_at);
       box.push_back(std::move(msg));
@@ -451,11 +475,17 @@ void Machine::deliver(Message msg) {
     } else {
       const Time wake_at = std::max(t->parked_clock, msg.arrived_at) +
                            net_.params().o_recv;
+      if (tracer_ != nullptr && msg.flow != 0) {
+        tracer_->flow_end(msg.flow, dst, wake_at);
+      }
       t->msg = std::move(msg);
       counters_[dst].recvs += 1;
       sim_.wake(t->parked, wake_at);
     }
     return;
+  }
+  if (tracer_ != nullptr && msg.flow != 0 && !sim_.rank_done(dst)) {
+    tracer_->flow_step(msg.flow, dst, msg.arrived_at);
   }
   enqueue_accounting(dst, msg.data.size());
   box.push_back(std::move(msg));
@@ -499,6 +529,9 @@ bool Machine::try_recv(Rank rank, Rank src, int tag, Message& out) {
     mailbox_msgs_[rank] -= 1;
     box.erase(it);
     counters_[rank].recvs += 1;
+    if (tracer_ != nullptr && out.flow != 0) {
+      tracer_->flow_end(out.flow, rank, sim_.rank_now(rank));
+    }
     return true;
   }
   return false;
@@ -539,6 +572,13 @@ void Machine::put(int win, Rank origin, Rank target, std::size_t offset,
   c.bytes_put += data.size();
   c.comm_ns += p.o_put;
   matrix_.record(origin, target, data.size() + kHeaderBytes);
+  const FlowId flow = ++next_flow_;
+  if (tracer_ != nullptr) {
+    tracer_->wire(origin, target, data.size() + kHeaderBytes,
+                  sim_.rank_now(origin));
+    tracer_->flow_begin(flow, Channel::kRma, origin, target, /*tag=*/-1,
+                        data.size() + kHeaderBytes, sim_.rank_now(origin));
+  }
 
   const Time completion =
       sim_.rank_now(origin) +
@@ -548,11 +588,14 @@ void Machine::put(int win, Rank origin, Rank target, std::size_t offset,
   // Pooled staging copy (the payload's only copy; the old path copied
   // into a fresh vector and the closure moved it — two allocations).
   sim_.schedule(completion,
-                [this, &ws, target, offset,
-                 payload = util::Buffer::copy_of(data)] {
+                [this, &ws, target, offset, flow,
+                 payload = util::Buffer::copy_of(data)](Time at) {
                   std::memcpy(ws.mem[target].data() + offset, payload.data(),
                               payload.size());
                   puts_landed_ += 1;
+                  if (tracer_ != nullptr && flow != 0) {
+                    tracer_->flow_end(flow, target, at);
+                  }
                 });
 }
 
@@ -620,9 +663,18 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
   }
 
   std::size_t total_bytes = 0;
+  std::vector<FlowId> slice_flows(topo.size(), 0);
   for (std::size_t i = 0; i < topo.size(); ++i) {
     total_bytes += slices[i].size();
     matrix_.record(rank, topo[i], slices[i].size() + kHeaderBytes);
+    slice_flows[i] = ++next_flow_;
+    if (tracer_ != nullptr) {
+      tracer_->wire(rank, topo[i], slices[i].size() + kHeaderBytes,
+                    sim_.rank_now(rank));
+      tracer_->flow_begin(slice_flows[i], Channel::kNeighbor, rank, topo[i],
+                          /*tag=*/-1, slices[i].size() + kHeaderBytes,
+                          sim_.rank_now(rank));
+    }
   }
   // Staging copy into the collective's send buffer.
   sim_.charge(rank, net_.copy_time(total_bytes));
@@ -634,7 +686,8 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
   const Time arrive = sim_.rank_now(rank);
   st.calls[rank].emplace(
       seq, NeighborState::Call{arrive, std::move(slices),
-                               static_cast<int>(topo.size())});
+                               static_cast<int>(topo.size()),
+                               std::move(slice_flows)});
 
   auto& pend = st.pending[rank];
   if (pend.active) throw std::logic_error("rank already in neighbor collective");
@@ -698,6 +751,8 @@ void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
   Time wire = 0;
   std::size_t recv_bytes = 0;
   std::vector<util::Buffer> data(topo.size());
+  std::vector<FlowId> consumed_flows;
+  if (tracer_ != nullptr) consumed_flows.reserve(topo.size());
   for (std::size_t i = 0; i < topo.size(); ++i) {
     const Rank n = topo[i];
     auto it = st.calls[n].find(seq);
@@ -708,6 +763,7 @@ void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
     const auto pos = static_cast<std::size_t>(
         std::find(ntopo.begin(), ntopo.end(), rank) - ntopo.begin());
     data[i] = call.slices.at(pos);  // refcount bump, no byte copy
+    if (tracer_ != nullptr) consumed_flows.push_back(call.slice_flows.at(pos));
     recv_bytes += data[i].size();
     // Pairwise-exchange cost model: a neighborhood collective on k
     // neighbors degenerates into ~k sequential point-to-point exchanges
@@ -724,6 +780,11 @@ void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
   if (topo.empty()) st.calls[rank].erase(seq);
 
   const Time complete = ready + wire + net_.copy_time(recv_bytes);
+  if (tracer_ != nullptr) {
+    for (const FlowId f : consumed_flows) {
+      if (f != 0) tracer_->flow_end(f, rank, complete);
+    }
+  }
   auto* out = pend.recv_out;
   pend.done = true;
   pend.complete_at = complete;
@@ -838,6 +899,7 @@ void Machine::handle_rank_failure(Rank rank) {
   sim_.kill(rank);
   failed_[rank] = 1;
   failed_ranks_.push_back(rank);
+  trace_instant(rank, "rank-crash", sim_.now());
   if (transport_ != nullptr) transport_->on_rank_failed(rank);
   // Survivors parked in a failure-agreement must not wait for the dead:
   // every pending instance may now be complete.
@@ -864,28 +926,41 @@ std::vector<std::int64_t> Machine::probe_state(Rank rank) const {
 }
 
 void Machine::ft_deliver(Rank src, Rank dst, int tag, util::Buffer payload,
-                         Time sent_at, Time arrive_at) {
+                         Time sent_at, Time arrive_at, FlowId flow) {
   Message msg;
   msg.src = src;
   msg.dst = dst;
   msg.tag = tag;
+  msg.flow = flow;
   msg.data = std::move(payload);
   msg.sent_at = sent_at;
   msg.arrived_at = arrive_at;
   sim_.schedule(arrive_at, [this, src, m = std::move(msg)]() mutable {
     inflight_sends_[src] -= 1;
+    inflight_bytes_[src] -= m.data.size();
     deliver(std::move(m));
   });
 }
 
-void Machine::ft_count(Rank rank, ft::Stat stat) {
+void Machine::ft_count(Rank rank, ft::Stat stat, FlowId flow, Time t) {
   auto& c = counters_[rank];
+  const char* name = nullptr;
   switch (stat) {
-    case ft::Stat::kRetransmit: c.retransmits += 1; break;
-    case ft::Stat::kDropped: c.dropped += 1; break;
-    case ft::Stat::kCorruptDetected: c.corrupt_detected += 1; break;
-    case ft::Stat::kDupFiltered: c.dup_filtered += 1; break;
-    case ft::Stat::kAck: c.acks += 1; break;
+    case ft::Stat::kRetransmit: c.retransmits += 1; name = "ft-retransmit"; break;
+    case ft::Stat::kDropped: c.dropped += 1; name = "ft-drop"; break;
+    case ft::Stat::kCorruptDetected:
+      c.corrupt_detected += 1;
+      name = "ft-corrupt";
+      break;
+    case ft::Stat::kDupFiltered: c.dup_filtered += 1; name = "ft-dup"; break;
+    case ft::Stat::kAck: c.acks += 1; name = "ft-ack"; break;
+  }
+  // Transport faults/acks are point events referencing the segment's flow,
+  // not flow phases: a retransmit can land *after* the flow already ended
+  // (e.g. a duplicate racing the delivered copy), and Perfetto requires
+  // flow steps to stay inside [s, f].
+  if (tracer_ != nullptr && name != nullptr) {
+    tracer_->instant(rank, name, t, flow);
   }
 }
 
@@ -896,13 +971,38 @@ void Machine::ft_price(Rank rank, Time ns) {
   counters_[rank].comm_ns += ns;
 }
 
-void Machine::ft_abandoned(Rank src, std::size_t payload_bytes) {
+void Machine::ft_abandoned(Rank src, std::size_t payload_bytes, FlowId flow) {
   inflight_sends_[src] -= 1;
+  inflight_bytes_[src] -= payload_bytes;
   abandoned_payload_bytes_ += payload_bytes;
+  if (tracer_ != nullptr && flow != 0) {
+    // Close the flow on the sender: the destination died and this message
+    // will never be delivered.
+    tracer_->flow_end(flow, src, sim_.now());
+    tracer_->instant(src, "ft-abandoned", sim_.now(), flow);
+  }
 }
 
 void Machine::ft_record_wire(Rank src, Rank dst, std::size_t bytes) {
   matrix_.record(src, dst, bytes);
+  if (tracer_ != nullptr) tracer_->wire(src, dst, bytes, sim_.now());
+}
+
+void Machine::enable_sampling(Time interval_ns) {
+  if (interval_ns <= 0) return;
+  sim_.add_periodic_hook(interval_ns, [this](Time t) {
+    if (tracer_ == nullptr) return;
+    for (Rank r = 0; r < nranks(); ++r) {
+      tracer_->counter(r, "mailbox_msgs", t, mailbox_msgs_[r]);
+      tracer_->counter(r, "mailbox_bytes", t, mailbox_bytes_[r]);
+      tracer_->counter(r, "inflight_bytes", t, inflight_bytes_[r]);
+      if (transport_ != nullptr) {
+        tracer_->counter(r, "ft_pending", t,
+                         transport_->pending_segments_from(r));
+      }
+    }
+    tracer_->counter(-1, "event_queue", t, sim_.pending_events());
+  });
 }
 
 void Machine::agree_arrive(Rank rank, std::vector<std::int64_t>* result_out,

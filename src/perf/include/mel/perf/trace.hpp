@@ -26,13 +26,14 @@ class ChromeTracer final : public mpi::Tracer {
   };
 
   /// Events shorter than `min_duration_ns` are dropped (keeps traces of
-  /// million-message runs viewable). 0 keeps everything.
+  /// million-message runs viewable). 0 keeps everything, including
+  /// zero-duration operations (exported as instant events).
   explicit ChromeTracer(sim::Time min_duration_ns = 0)
       : min_duration_(min_duration_ns) {}
 
   void record(sim::Rank rank, const char* category, sim::Time start,
               sim::Time end) override {
-    if (end - start >= min_duration_ && end > start) {
+    if (end - start >= min_duration_) {
       events_.push_back(Event{rank, category, start, end});
     }
   }

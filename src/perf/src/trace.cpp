@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mel/obs/json.hpp"
+
 namespace mel::perf {
 
 std::string ChromeTracer::to_json() const {
@@ -14,15 +16,24 @@ std::string ChromeTracer::to_json() const {
   for (const Event& e : events_) {
     if (!first) os << ',';
     first = false;
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}",
-                  e.category, e.category,
-                  static_cast<double>(e.start) / 1e3,
-                  static_cast<double>(e.end - e.start) / 1e3,
-                  static_cast<int>(e.rank));
-    os << buf;
+    const std::string cat = obs::json_escape(e.category);
+    char buf[128];
+    if (e.end > e.start) {
+      std::snprintf(buf, sizeof buf,
+                    "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,"
+                    "\"tid\":%d}",
+                    static_cast<double>(e.start) / 1e3,
+                    static_cast<double>(e.end - e.start) / 1e3,
+                    static_cast<int>(e.rank));
+    } else {
+      // Zero-duration operation: an instant marker, not an invisible slice.
+      std::snprintf(buf, sizeof buf,
+                    "\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":0,"
+                    "\"tid\":%d}",
+                    static_cast<double>(e.start) / 1e3,
+                    static_cast<int>(e.rank));
+    }
+    os << "{\"name\":\"" << cat << "\",\"cat\":\"" << cat << "\"," << buf;
   }
   os << "],\"displayTimeUnit\":\"ns\"}";
   return os.str();

@@ -135,15 +135,26 @@ class Simulator {
   bool rank_crashed(Rank rank) const { return ranks_[rank].crashed; }
   int crashed_count() const { return crashed_; }
 
-  // -- Periodic run-loop hook (checkpointing) -------------------------------
+  // -- Periodic run-loop hooks (checkpointing, telemetry sampling) ----------
 
   /// Invoke `hook(k * interval)` from the run loop just before executing
   /// the first event at virtual time >= k * interval, for every k >= 1.
   /// Unlike a self-rescheduling queue event this cannot keep the queue
   /// alive (which would mask deadlocks and crash detection). The hook must
   /// not schedule events. interval <= 0 or a null hook clears it.
+  ///
+  /// set_periodic_hook keeps the original single-slot semantics (replaces
+  /// the previous hook installed through it); add_periodic_hook registers
+  /// an independent additional hook and returns its id. When several hooks
+  /// are due before the same event they fire in ascending boundary time,
+  /// ties broken by registration id — a deterministic order, so observers
+  /// that only *read* state cannot perturb the event trace.
   using PeriodicHook = std::function<void(Time)>;
   void set_periodic_hook(Time interval, PeriodicHook hook);
+  int add_periodic_hook(Time interval, PeriodicHook hook);
+
+  /// Events currently queued (diagnostic gauge for telemetry sampling).
+  std::size_t pending_events() const { return queue_.size(); }
 
   /// Sum of final local clocks; the simulated "job time" is the max.
   Time max_rank_time() const;
@@ -183,15 +194,24 @@ class Simulator {
     bool crashed = false;
   };
 
+  struct Hook {
+    Time interval = 0;
+    Time next_at = 0;
+    PeriodicHook fn;  // null = cleared slot
+  };
+
+  /// Fire every registered hook whose boundary is <= t (ascending boundary
+  /// time, ties by id).
+  void fire_hooks(Time t);
+
   std::vector<RankState> ranks_;
   std::exception_ptr error_;
   EventQueue queue_;
   Time now_ = 0;
   Time horizon_ = 0;
   StallReporter reporter_;
-  PeriodicHook hook_;
-  Time hook_interval_ = 0;
-  Time next_hook_at_ = 0;
+  std::vector<Hook> hooks_;
+  int legacy_hook_ = -1;  // index into hooks_ owned by set_periodic_hook
   int crashed_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t trace_hash_ = 0x9e3779b97f4a7c15ULL;

@@ -70,14 +70,46 @@ void Simulator::kill(Rank rank) {
 
 void Simulator::set_periodic_hook(Time interval, PeriodicHook hook) {
   if (interval <= 0 || !hook) {
-    hook_ = nullptr;
-    hook_interval_ = 0;
-    next_hook_at_ = 0;
+    if (legacy_hook_ >= 0) hooks_[legacy_hook_].fn = nullptr;
+    legacy_hook_ = -1;
     return;
   }
-  hook_ = std::move(hook);
-  hook_interval_ = interval;
-  next_hook_at_ = interval;
+  if (legacy_hook_ >= 0) {
+    // Replace in place, keeping the slot's id (and thus tie-break order).
+    hooks_[legacy_hook_] = Hook{interval, interval, std::move(hook)};
+    return;
+  }
+  legacy_hook_ = add_periodic_hook(interval, std::move(hook));
+}
+
+int Simulator::add_periodic_hook(Time interval, PeriodicHook hook) {
+  if (interval <= 0 || !hook) {
+    throw std::invalid_argument(
+        "Simulator::add_periodic_hook: need a positive interval and a "
+        "non-null hook");
+  }
+  hooks_.push_back(Hook{interval, interval, std::move(hook)});
+  return static_cast<int>(hooks_.size()) - 1;
+}
+
+void Simulator::fire_hooks(Time t) {
+  // Fire every due boundary across all hooks in ascending (boundary, id)
+  // order. Hook counts are tiny (checkpointing + sampling), so a linear
+  // scan per firing beats maintaining a heap.
+  for (;;) {
+    int best = -1;
+    for (std::size_t i = 0; i < hooks_.size(); ++i) {
+      const Hook& h = hooks_[i];
+      if (!h.fn || t < h.next_at) continue;
+      if (best < 0 || h.next_at < hooks_[best].next_at) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return;
+    const Time at = hooks_[best].next_at;
+    hooks_[best].next_at += hooks_[best].interval;
+    hooks_[best].fn(at);
+  }
 }
 
 void Simulator::note_rank_error(Rank rank) {
@@ -95,12 +127,9 @@ void Simulator::run() {
   while (!queue_.empty()) {
     const auto& top = queue_.peek();
     const Time t = top.t;
-    // Fire the periodic hook for every boundary the next event crosses.
-    // The hook must not schedule events, so the peeked event stays next.
-    while (hook_ && t >= next_hook_at_) {
-      hook_(next_hook_at_);
-      next_hook_at_ += hook_interval_;
-    }
+    // Fire the periodic hooks for every boundary the next event crosses.
+    // Hooks must not schedule events, so the peeked event stays next.
+    if (!hooks_.empty()) fire_hooks(t);
     if (horizon_ > 0 && t > horizon_) {
       std::ostringstream os;
       os << "watchdog: next event at t=" << t

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "mel/gen/generators.hpp"
+#include "mel/obs/json.hpp"
 #include "mel/perf/energy.hpp"
 #include "mel/perf/profile.hpp"
 #include "mel/perf/report.hpp"
@@ -149,10 +150,34 @@ TEST(Trace, MinDurationFilters) {
   EXPECT_STREQ(tracer.events()[0].category, "long");
 }
 
-TEST(Trace, ZeroLengthEventsDropped) {
+TEST(Trace, ZeroLengthEventsKeptAsInstants) {
+  // A zero-cost operation at the default min_duration of 0 must survive
+  // (end - start >= 0) and export as an instant event, not vanish.
   ChromeTracer tracer;
   tracer.record(0, "instant", 42, 42);
-  EXPECT_TRUE(tracer.events().empty());
+  ASSERT_EQ(tracer.events().size(), 1u);
+  const auto json = tracer.to_json();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(json.find("\"dur\""), std::string::npos);
+
+  // A nonzero min_duration still filters them.
+  ChromeTracer filtered(1);
+  filtered.record(0, "instant", 42, 42);
+  EXPECT_TRUE(filtered.events().empty());
+}
+
+TEST(Trace, CategoryEscapedInJson) {
+  ChromeTracer tracer;
+  tracer.record(0, "weird\"cat\\name", 0, 100);
+  const auto json = tracer.to_json();
+  EXPECT_NE(json.find("weird\\\"cat\\\\name"), std::string::npos);
+  // The escaped document must survive a real JSON parser round trip.
+  const auto doc = obs::json::parse(json);
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].find("name")->string, "weird\"cat\\name");
 }
 
 }  // namespace

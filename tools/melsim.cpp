@@ -20,11 +20,11 @@
 #include "mel/graph/stats.hpp"
 #include "mel/match/driver.hpp"
 #include "mel/match/verify.hpp"
+#include "mel/obs/recorder.hpp"
 #include "mel/order/rcm.hpp"
 #include "mel/perf/energy.hpp"
 #include "mel/prof/prof.hpp"
 #include "mel/perf/report.hpp"
-#include "mel/perf/trace.hpp"
 #include "mel/util/cli.hpp"
 
 using namespace mel;
@@ -58,7 +58,13 @@ constexpr Flag kFlags[] = {
     {"root", "V", "bfs root vertex (default 0)"},
     {"rcm", "", "apply RCM reordering first"},
     {"edge-balance", "", "edge-balanced 1D partition (match only)"},
-    {"trace", "FILE", "write a Chrome/Perfetto trace"},
+    {"trace", "FILE",
+     "write a Chrome/Perfetto trace (spans, message flows, counter tracks)"},
+    {"metrics-jsonl", "FILE",
+     "write machine-readable telemetry records (schema mel.metrics/1)"},
+    {"sample-interval", "NS",
+     "gauge sampling period in virtual ns for --trace/--metrics-jsonl "
+     "counter tracks (default 100000, 0=off)"},
     {"matrix", "FILE", "write the comm matrix (bytes) as CSV"},
     {"csv", "", "machine-readable one-line summary"},
     {"chaos-seed", "S", "fault-injection seed (default 1)"},
@@ -180,10 +186,17 @@ int run(const util::Cli& cli) {
                 match::model_name(model), ranks);
   }
 
-  perf::ChromeTracer tracer;
+  obs::Recorder recorder;
+  const bool want_obs = cli.has("trace") || cli.has("metrics-jsonl");
   match::RunConfig cfg;
   cfg.collect_matrix = cli.has("matrix");
-  if (cli.has("trace")) cfg.tracer = &tracer;
+  if (want_obs) {
+    cfg.tracer = &recorder;
+    cfg.sample_interval_ns =
+        static_cast<sim::Time>(cli.get_int("sample-interval", 100000));
+    recorder.set_run_info(algo, match::model_name(model), ranks,
+                          static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  }
   cfg.audit = !cli.get_bool("no-audit", false);
   cfg.watchdog_horizon =
       static_cast<sim::Time>(cli.get_int("watchdog-horizon", 0));
@@ -214,6 +227,9 @@ int run(const util::Cli& cli) {
       run.matching.weight = match::matching_weight(g, run.matching.mate);
     } else {
       run = match::run_match(g, ranks, model, cfg);
+    }
+    if (want_obs) {
+      recorder.set_run_result(run.time, run.trace_hash, run.sim_events);
     }
     const bool valid = match::is_valid_matching(g, run.matching.mate);
     const auto energy = perf::energy_report(run, cfg.net);
@@ -282,10 +298,20 @@ int run(const util::Cli& cli) {
   }
 
   if (cli.has("trace")) {
-    tracer.write_file(cli.get("trace", "trace.json"));
+    recorder.write_chrome_file(cli.get("trace", "trace.json"));
     if (!csv) {
-      std::printf("trace: %zu events -> %s\n", tracer.events().size(),
+      std::printf("trace: %zu spans, %zu flows, %zu samples -> %s\n",
+                  recorder.spans().size(), recorder.flows().size(),
+                  recorder.samples().size(),
                   cli.get("trace", "trace.json").c_str());
+    }
+  }
+  if (cli.has("metrics-jsonl")) {
+    recorder.write_metrics_file(cli.get("metrics-jsonl", "metrics.jsonl"));
+    if (!csv) {
+      std::printf("metrics: %zu samples, %zu iterations -> %s\n",
+                  recorder.samples().size(), recorder.iterations().size(),
+                  cli.get("metrics-jsonl", "metrics.jsonl").c_str());
     }
   }
   if (host_profile) {

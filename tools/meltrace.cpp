@@ -1,0 +1,146 @@
+// meltrace — offline analysis of melsim observability artifacts.
+//
+//   meltrace validate run.trace.json [--metrics run.metrics.jsonl]
+//   meltrace summarize run.trace.json [--top K]
+//   meltrace matrix run.trace.json
+//   meltrace diff a.trace.json b.trace.json
+//
+// `validate` exits nonzero on any schema violation or dangling flow id,
+// so CI can pipe melsim output straight through it. `matrix` prints the
+// comm matrix reconstructed from the trace's wire events in exactly the
+// JSON `bench_fig02_comm_matrix --json` emits, making cross-checks a
+// byte comparison.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mel/obs/analysis.hpp"
+
+using namespace mel;
+
+namespace {
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: meltrace <command> ...\n"
+               "commands:\n"
+               "  validate TRACE [--metrics FILE]   check trace (and metrics "
+               "JSONL) schema; exit 1 on violations\n"
+               "  summarize TRACE [--top K]         per-category/per-rank "
+               "rollups, flow latencies, top-K longest ops\n"
+               "  matrix TRACE                      comm matrix reconstructed "
+               "from wire events, as canonical JSON\n"
+               "  diff A B                          compare two traces "
+               "(event counts, per-category time, flow volume)\n");
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "meltrace validate: missing TRACE\n");
+    return 2;
+  }
+  std::string metrics_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--metrics" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else {
+      std::fprintf(stderr, "meltrace validate: unknown argument %s\n",
+                   args[i].c_str());
+      return 2;
+    }
+  }
+  const obs::TraceStats stats = obs::analyze_trace_file(args[0]);
+  int bad = 0;
+  if (stats.errors.empty()) {
+    std::printf("%s: OK (%llu events, %llu flow classes)\n", args[0].c_str(),
+                static_cast<unsigned long long>(stats.events),
+                static_cast<unsigned long long>(stats.flows_by_class.size()));
+  } else {
+    bad = 1;
+    std::printf("%s: %zu violation(s)\n", args[0].c_str(),
+                stats.errors.size());
+    for (const auto& e : stats.errors) std::printf("  ! %s\n", e.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const auto errors = obs::validate_metrics_file(metrics_path);
+    if (errors.empty()) {
+      std::printf("%s: OK\n", metrics_path.c_str());
+    } else {
+      bad = 1;
+      std::printf("%s: %zu violation(s)\n", metrics_path.c_str(),
+                  errors.size());
+      for (const auto& e : errors) std::printf("  ! %s\n", e.c_str());
+    }
+  }
+  return bad;
+}
+
+int cmd_summarize(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "meltrace summarize: missing TRACE\n");
+    return 2;
+  }
+  int top_k = 10;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--top" && i + 1 < args.size()) {
+      top_k = std::atoi(args[++i].c_str());
+    } else {
+      std::fprintf(stderr, "meltrace summarize: unknown argument %s\n",
+                   args[i].c_str());
+      return 2;
+    }
+  }
+  const obs::TraceStats stats = obs::analyze_trace_file(args[0], top_k);
+  std::printf("%s", obs::summarize(stats).c_str());
+  return 0;
+}
+
+int cmd_matrix(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "meltrace matrix: expected exactly one TRACE\n");
+    return 2;
+  }
+  const obs::TraceStats stats = obs::analyze_trace_file(args[0]);
+  std::printf("%s\n", obs::matrix_json(stats.to_comm_matrix()).c_str());
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::fprintf(stderr, "meltrace diff: expected exactly two traces\n");
+    return 2;
+  }
+  const obs::TraceStats a = obs::analyze_trace_file(args[0]);
+  const obs::TraceStats b = obs::analyze_trace_file(args[1]);
+  std::printf("%s", obs::diff(a, b, args[0], args[1]).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "help" || cmd == "--help") {
+      print_usage(stdout);
+      return 0;
+    }
+    if (cmd == "validate") return cmd_validate(args);
+    if (cmd == "summarize") return cmd_summarize(args);
+    if (cmd == "matrix") return cmd_matrix(args);
+    if (cmd == "diff") return cmd_diff(args);
+    std::fprintf(stderr, "meltrace: unknown command %s\n", cmd.c_str());
+    print_usage(stderr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "meltrace: %s\n", e.what());
+    return 2;
+  }
+}
