@@ -141,14 +141,18 @@ std::size_t peak_rss_bytes() {
 
 class WallTimer {
  public:
+  // mellint: allow(wallclock) — host-side benchmark timing; measures the
+  // simulator itself, never feeds simulated state.
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
   double seconds() const {
+    // mellint: allow(wallclock) — host-side benchmark timing (see ctor).
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_)
         .count();
   }
 
  private:
+  // mellint: allow(wallclock) — host-side benchmark timing (see ctor).
   std::chrono::steady_clock::time_point start_;
 };
 

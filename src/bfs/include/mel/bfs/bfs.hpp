@@ -28,6 +28,9 @@ struct BfsResult {
   std::vector<std::int64_t> dist;
   sim::Time time = 0;
   std::int64_t levels = 0;
+  /// Simulator (time, sequence) event-trace hash — the same determinism
+  /// fingerprint run_match reports, so BFS runs can be pinned too.
+  std::uint64_t trace_hash = 0;
   mpi::CommCounters totals;
   std::unique_ptr<mpi::CommMatrix> matrix;
 };

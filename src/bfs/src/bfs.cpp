@@ -1,7 +1,7 @@
 #include "mel/bfs/bfs.hpp"
 
 #include <deque>
-#include <unordered_set>
+#include <set>
 
 #include "mel/mpi/machine.hpp"
 
@@ -64,8 +64,10 @@ sim::RankTask bfs_nsr(mpi::Comm& comm, const LocalGraph& lg,
 
   for (;;) {
     // Expand: local relaxations + staged ghost visits (deduped per level).
+    // Membership-only dedup, but ordered anyway: determinism discipline
+    // (mellint R1) costs nothing here and survives future iteration.
     std::vector<std::vector<VertexId>> staged(deg);
-    std::unordered_set<VertexId> sent;
+    std::set<VertexId> sent;
     for (const VertexId v : st.frontier) {
       const VertexId lv = v - lg.vbegin;
       comm.compute_edges(lg.offsets[lv + 1] - lg.offsets[lv]);
@@ -126,7 +128,7 @@ sim::RankTask bfs_ncl(mpi::Comm& comm, const LocalGraph& lg,
   for (;;) {
     std::vector<std::vector<std::byte>> slices(deg);
     std::vector<std::int64_t> counts(deg, 0);
-    std::unordered_set<VertexId> sent;
+    std::set<VertexId> sent;  // membership-only; ordered for determinism
     for (const VertexId v : st.frontier) {
       const VertexId lv = v - lg.vbegin;
       comm.compute_edges(lg.offsets[lv + 1] - lg.offsets[lv]);
@@ -202,6 +204,7 @@ BfsResult run_bfs(const Csr& g, int nranks, VertexId root, Model model,
     result.levels = std::max(result.levels, levels[r]);
   }
   result.time = simulator.max_rank_time();
+  result.trace_hash = simulator.trace_hash();
   result.totals = machine.total_counters();
   if (cfg.collect_matrix) {
     result.matrix = std::make_unique<mpi::CommMatrix>(machine.matrix());

@@ -15,7 +15,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "mel/sim/time.hpp"
@@ -135,8 +135,10 @@ class Engine {
   int nranks_;
   std::vector<char> straggler_;  // per rank
   /// Per (src, dst, tag) message counters, so each message's jitter is a
-  /// stable function of its position in its channel.
-  std::unordered_map<std::uint64_t, std::uint64_t> channel_counts_;
+  /// stable function of its position in its channel. Keyed lookups only
+  /// today, but ordered (mellint R1) so any future draw that *walks*
+  /// channels — e.g. a per-channel fault report — stays deterministic.
+  std::map<std::uint64_t, std::uint64_t> channel_counts_;
 };
 
 }  // namespace mel::chaos

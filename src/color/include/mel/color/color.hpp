@@ -40,6 +40,9 @@ struct ColorResult {
   std::vector<std::int64_t> colors;
   sim::Time time = 0;
   std::int64_t rounds = 0;
+  /// Simulator (time, sequence) event-trace hash — the same determinism
+  /// fingerprint run_match reports, so coloring runs can be pinned too.
+  std::uint64_t trace_hash = 0;
   mpi::CommCounters totals;
 };
 

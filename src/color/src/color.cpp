@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 #include <numeric>
 #include <set>
-#include <unordered_map>
 
 #include "mel/mpi/machine.hpp"
 #include "mel/util/buffer.hpp"
@@ -91,7 +91,10 @@ constexpr int kTagColor = 201;
 struct JpState {
   const LocalGraph& lg;
   std::vector<std::int64_t> colors;  // per local vertex
-  std::unordered_map<VertexId, std::int64_t> ghost_colors;
+  // Looked up by key only (never iterated), but ordered anyway so a
+  // future "iterate ghosts" refactor cannot silently become seed- and
+  // platform-dependent (mellint R1).
+  std::map<VertexId, std::int64_t> ghost_colors;
   std::int64_t uncolored;
 
   explicit JpState(const LocalGraph& local)
@@ -274,6 +277,7 @@ ColorResult run_coloring(const Csr& g, int nranks, Model model,
     result.rounds = std::max(result.rounds, rounds[r]);
   }
   result.time = simulator.max_rank_time();
+  result.trace_hash = simulator.trace_hash();
   result.totals = machine.total_counters();
   return result;
 }

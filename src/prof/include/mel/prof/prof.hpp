@@ -50,6 +50,9 @@ std::string report();
 std::string report_json();
 
 namespace detail {
+// mellint: allow(global-cache) — host-profiler master switch, flipped once
+// by melsim before the run and read-only after; never influences simulated
+// state. Becomes atomic<bool> with the threaded DES.
 inline bool g_enabled = false;
 void record(Section s, std::uint64_t ns);
 std::uint64_t now_ns();

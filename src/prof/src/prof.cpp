@@ -6,6 +6,9 @@
 namespace mel::prof {
 
 namespace {
+// mellint: allow(global-cache) — host wall-time accumulators for the
+// self-profiler; they measure the simulator, never feed it. Must become
+// per-thread (merged at report time) before the threaded DES lands.
 Stats g_stats[kSectionCount];
 }  // namespace
 

@@ -36,6 +36,10 @@ struct Pool {
 };
 
 Pool& pool() {
+  // mellint: allow(global-cache) — process-wide buffer pool, deliberate:
+  // single-threaded today; must become per-shard (or take a lock) as part
+  // of the threaded-DES work, and the steady-alloc test will catch any
+  // accidental cross-thread sharing before the race does.
   static Pool p;
   return p;
 }

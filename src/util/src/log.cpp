@@ -5,6 +5,9 @@
 namespace mel::util {
 
 namespace {
+// mellint: allow(global-cache) — process-wide log threshold, written once
+// at startup (melsim flag parsing) and only read afterwards; needs to
+// become atomic<LogLevel> before the threaded DES lands.
 LogLevel g_level = LogLevel::kWarn;
 
 const char* level_name(LogLevel level) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <tuple>
 
 #include "mel/gen/generators.hpp"
@@ -85,6 +87,49 @@ TEST(Bfs, CommPatternDiffersFromMatching) {
   ASSERT_NE(match_run.matrix, nullptr);
   EXPECT_GT(bfs_run.matrix->total_msgs(), 0u);
   EXPECT_GT(match_run.matrix->total_msgs(), 0u);
+}
+
+// Determinism pin, same discipline as the matching table in
+// tests/match/determinism_pin_test.cpp: the simulator (time, sequence)
+// event-trace hash for both BFS backends x 3 seeds on rmat(8, 8), 8
+// ranks, root 0. Captured from the pre-mellint tree (std::unordered_set
+// frontier dedup); the ordered-set replacement required by mellint R1 is
+// membership-only and must be bit-identical. Re-capture with
+// MEL_PIN_PRINT=1 only for an *intended* virtual-time change.
+TEST(BfsDeterminismPin, TraceHashPerModelAndSeed) {
+  struct Pin {
+    Model model;
+    std::uint64_t seed;
+    std::uint64_t trace_hash;
+    sim::Time time;
+    std::int64_t levels;
+  };
+  const Pin kPins[] = {
+      {Model::kNsr, 1, 0x4c6bc918212bf62fULL, 220858, 5},
+      {Model::kNsr, 2, 0x14ce7a8ea5a7f89dULL, 209158, 5},
+      {Model::kNsr, 3, 0x40c6064d5a4e2f71ULL, 216477, 5},
+      {Model::kNcl, 1, 0xe9a4048fc994bfa5ULL, 121064, 5},
+      {Model::kNcl, 2, 0xdc67722d29151353ULL, 117168, 5},
+      {Model::kNcl, 3, 0xc1b791ecfca6eaa4ULL, 121555, 5},
+  };
+  const bool print = std::getenv("MEL_PIN_PRINT") != nullptr;
+  for (const Pin& pin : kPins) {
+    const auto g = gen::rmat(8, 8, pin.seed);
+    const auto r = run_bfs(g, 8, 0, pin.model, {});
+    if (print) {
+      std::printf("      {Model::%s, %llu, 0x%016llxULL, %lld, %lld},\n",
+                  pin.model == Model::kNsr ? "kNsr" : "kNcl",
+                  static_cast<unsigned long long>(pin.seed),
+                  static_cast<unsigned long long>(r.trace_hash),
+                  static_cast<long long>(r.time),
+                  static_cast<long long>(r.levels));
+      continue;
+    }
+    EXPECT_EQ(r.trace_hash, pin.trace_hash)
+        << "model " << static_cast<int>(pin.model) << " seed " << pin.seed;
+    EXPECT_EQ(r.time, pin.time) << "seed " << pin.seed;
+    EXPECT_EQ(r.levels, pin.levels) << "seed " << pin.seed;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <tuple>
 
 #include "mel/gen/generators.hpp"
@@ -94,6 +96,49 @@ TEST(DistColoring, RoundsGrowWithConflictChains) {
   EXPECT_EQ(one.colors, many.colors);
   EXPECT_LE(one.rounds, 2);
   EXPECT_GT(many.rounds, one.rounds);
+}
+
+// Determinism pin, same discipline as the matching table in
+// tests/match/determinism_pin_test.cpp: the simulator (time, sequence)
+// event-trace hash for both Jones-Plassmann backends x 3 seeds on
+// rmat(8, 8), 8 ranks. Captured from the pre-mellint tree
+// (std::unordered_map ghost table); the ordered-map replacement required
+// by mellint R1 is lookup-only and must be bit-identical. Re-capture with
+// MEL_PIN_PRINT=1 only for an *intended* virtual-time change.
+TEST(ColorDeterminismPin, TraceHashPerModelAndSeed) {
+  struct Pin {
+    Model model;
+    std::uint64_t seed;
+    std::uint64_t trace_hash;
+    sim::Time time;
+    std::int64_t rounds;
+  };
+  const Pin kPins[] = {
+      {Model::kNsr, 1, 0x9e6d4030a4c15687ULL, 957627, 32},
+      {Model::kNsr, 2, 0xdbcb8d42b7c5328dULL, 914845, 32},
+      {Model::kNsr, 3, 0xf24c2822db2e0232ULL, 1075965, 35},
+      {Model::kNcl, 1, 0x6fa37661d0eba729ULL, 1156085, 32},
+      {Model::kNcl, 2, 0xb6196d983c9c06d5ULL, 1102808, 32},
+      {Model::kNcl, 3, 0x1cb91b0ca7f723acULL, 1313671, 35},
+  };
+  const bool print = std::getenv("MEL_PIN_PRINT") != nullptr;
+  for (const Pin& pin : kPins) {
+    const auto g = gen::rmat(8, 8, pin.seed);
+    const auto r = run_coloring(g, 8, pin.model, {});
+    if (print) {
+      std::printf("      {Model::%s, %llu, 0x%016llxULL, %lld, %lld},\n",
+                  pin.model == Model::kNsr ? "kNsr" : "kNcl",
+                  static_cast<unsigned long long>(pin.seed),
+                  static_cast<unsigned long long>(r.trace_hash),
+                  static_cast<long long>(r.time),
+                  static_cast<long long>(r.rounds));
+      continue;
+    }
+    EXPECT_EQ(r.trace_hash, pin.trace_hash)
+        << "model " << static_cast<int>(pin.model) << " seed " << pin.seed;
+    EXPECT_EQ(r.time, pin.time) << "seed " << pin.seed;
+    EXPECT_EQ(r.rounds, pin.rounds) << "seed " << pin.seed;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+// Negative fixture: everything here is determinism-clean; zero findings.
+// It deliberately mentions every hazard in positions the tokenizer must
+// ignore — comments, strings, raw strings, char-adjacent code.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// std::unordered_map in a comment, std::rand() too, random_device also.
+constexpr int kAnswer = 42;
+const char* const kDoc =
+    "iterating a std::unordered_set<int> or calling time(nullptr) here "
+    "is just prose";
+const char* const kRaw = R"(std::hash<Node*> inside a raw string)";
+
+/* block comment mentioning static int g_bad = 0; never fires */
+
+struct Counter {
+  std::map<std::int64_t, int> by_id;  // ordered: fine
+  std::set<std::string> names;        // ordered: fine
+  int time = 0;                       // member named `time`: fine
+  static int zero() { return 0; }     // static member function: fine
+};
+
+std::vector<int> make_table();  // prototype: fine
+
+inline constexpr std::int64_t kMask = 0xffff;  // constexpr: fine
+
+int add_one(int x) {
+  const int y = x + 1;  // locals are not globals
+  return y;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// R1 fixture: every std::unordered_* use in simulation-path code fires,
+// whether iterated or not (proving non-iteration is the suppressor's job).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+void iterate() {
+  std::unordered_map<int, int> counts;  // line 10: finding
+  for (const auto& [k, v] : counts) {
+    (void)k;
+    (void)v;
+  }
+}
+
+void membership_only() {
+  std::unordered_set<std::int64_t> seen;  // line 18: finding (use != iterate)
+  seen.insert(7);
+}
+
+}  // namespace fixture

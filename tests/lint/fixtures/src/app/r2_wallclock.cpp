@@ -1,0 +1,35 @@
+// R2 fixture: wall-clock / entropy reads, plus the negatives the
+// tokenizer must not trip on (strings, comments, member calls,
+// declarations named `time`).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+// Negative: mentions of std::random_device in a comment never fire.
+struct Sim {
+  long time = 0;  // negative: `time` as a member name, not a call
+  long clock_skew() const { return time; }
+};
+
+long bad_wallclock() {
+  auto t = std::chrono::system_clock::now();  // finding: system_clock
+  (void)t;
+  return std::time(nullptr);  // finding: std::time(...)
+}
+
+int bad_entropy() {
+  std::random_device rd;  // finding: random_device
+  const int r = std::rand();  // finding: std::rand(...)
+  return static_cast<int>(rd() + static_cast<unsigned>(r));
+}
+
+long good_calls(Sim& s) {
+  const char* label = "time(s)";  // negative: inside a string literal
+  (void)label;
+  return s.clock_skew() + s.time;  // negative: member access
+}
+
+}  // namespace fixture

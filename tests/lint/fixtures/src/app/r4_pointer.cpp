@@ -1,0 +1,31 @@
+// R4 fixture: ordering / hashing by pointer value. The address of an
+// object differs run to run (ASLR, allocator), so any pointer-keyed
+// order is nondeterministic.
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+using ByAddress = std::map<Node*, int>;  // finding: pointer-keyed map
+
+std::size_t hash_node(Node* n) {
+  return std::hash<Node*>{}(n);  // finding: std::hash over a pointer
+}
+
+bool before(const Node* a, const Node* b) {
+  return std::less<const Node*>{}(a, b);  // finding: std::less over a pointer
+}
+
+// Negative: pointer as *value* type is fine — nothing orders by it.
+using ById = std::map<int, Node*>;
+
+// Negative: ordered set keyed by value.
+using IdSet = std::set<int>;
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// R5 fixture: mutable global/cache state outside the determinism core.
+// A justified allow() suppresses; an unjustified one does not (and is
+// itself reported as bad-suppression).
+#include <map>
+#include <string>
+
+namespace fixture {
+
+int g_unjustified_counter = 0;  // finding: no justification
+
+// mellint: allow(global-cache) — interned-name cache, write-once before
+// the run; becomes a per-shard table with the threaded DES.
+std::map<std::string, int> g_name_cache;  // suppressed by the line above
+
+int g_inline_ok = 0;  // mellint: allow(global-cache) — test fixture, same-line form
+
+// mellint: allow(global-cache)
+int g_reasonless = 0;  // finding ×2: global-cache AND bad-suppression above
+
+// mellint: allow(not-a-rule) — the rule name is unknown
+int g_unknown_rule = 0;  // finding ×2: global-cache AND bad-suppression
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// R3 fixture: mutable static / namespace-scope state inside the
+// determinism core (this file's path contains src/mpi/). Static member
+// *functions* and constants must not fire.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture::mpi {
+
+int g_inflight = 0;  // finding: mutable namespace-scope variable
+
+std::vector<int> g_retry_counts = {0, 0};  // finding: brace-initialized global
+
+constexpr int kMaxRanks = 4096;           // negative: constexpr
+const std::string kDefaultName = "mpi";   // negative: const
+
+int route(int dst);  // negative: function prototype
+
+struct Machine {
+  static Machine& instance();  // negative: static member function
+  static int s_live_machines;  // finding: mutable static data member
+  static constexpr int kWindow = 8;  // negative: static constexpr
+  int rank = 0;
+};
+
+int next_seq() {
+  static std::uint64_t seq = 0;  // finding: function-local mutable static
+  return static_cast<int>(seq++);
+}
+
+}  // namespace fixture::mpi

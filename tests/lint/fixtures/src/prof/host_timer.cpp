@@ -1,0 +1,13 @@
+// R2 allowlist fixture: files under src/prof/ may read host clocks —
+// that is the whole point of the host profiler.
+#include <chrono>
+
+namespace fixture::prof {
+
+long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture::prof
