@@ -1,9 +1,12 @@
 // Extension study (the paper's flagged future work, implemented): compare
-// all seven communication models —
+// all ten communication models —
 //   NSR, RMA, NCL, MBP            (the paper's four)
 //   NSR-AGG                       (Send-Recv + per-neighbor aggregation)
 //   RMA-FENCE                     (active-target epochs)
 //   NCL-NB                        (nonblocking neighborhood collectives)
+//   NSR-HIER                      (node-aware two-level Send-Recv)
+//   NCL-PERSIST                   (persistent neighborhood alltoallv)
+//   RMA-PART                      (partitioned pready-style puts)
 // on one input per structural regime.
 #include "common.hpp"
 
@@ -37,9 +40,11 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<match::Model> models = {
-      match::Model::kNsr,    match::Model::kNsrAgg,   match::Model::kMbp,
-      match::Model::kRma,    match::Model::kRmaFence, match::Model::kNcl,
-      match::Model::kNclNb};
+      match::Model::kNsr,     match::Model::kNsrAgg,
+      match::Model::kNsrHier, match::Model::kMbp,
+      match::Model::kRma,     match::Model::kRmaFence,
+      match::Model::kRmaPart, match::Model::kNcl,
+      match::Model::kNclNb,   match::Model::kNclPersist};
 
   for (const auto& inst : instances) {
     std::printf("== %s, |E|=%s, p=%d ==\n\n", inst.name.c_str(),
@@ -63,6 +68,11 @@ int main(int argc, char** argv) {
       "flagged optimization); NCL-NB shaves the per-round count exchange\n"
       "off NCL; active-target RMA ties passive RMA on sparse topologies\n"
       "and wins on dense ones, where a log(p) fence epoch is cheaper than\n"
-      "a pairwise neighbor_alltoall over ~p neighbors.\n");
+      "a pairwise neighbor_alltoall over ~p neighbors. Of the node-aware\n"
+      "additions, NCL-PERSIST strictly beats NCL-NB (schedule built once,\n"
+      "o_coll_persistent_start per round), RMA-PART drops the per-round\n"
+      "count collective in favour of ordered partition publishes, and\n"
+      "NSR-HIER trades total time for inter-node volume (see\n"
+      "bench_fig09_comm_volume for the byte split).\n");
   return 0;
 }

@@ -25,10 +25,13 @@ inline const std::vector<match::Model> kAllModels = {
     match::Model::kNsr, match::Model::kRma, match::Model::kNcl};
 
 inline match::Model parse_model(const std::string& name) {
-  if (name == "NSR") return match::Model::kNsr;
-  if (name == "RMA") return match::Model::kRma;
-  if (name == "NCL") return match::Model::kNcl;
-  if (name == "MBP") return match::Model::kMbp;
+  for (const auto m :
+       {match::Model::kNsr, match::Model::kRma, match::Model::kNcl,
+        match::Model::kMbp, match::Model::kNsrAgg, match::Model::kRmaFence,
+        match::Model::kNclNb, match::Model::kNsrHier, match::Model::kNclPersist,
+        match::Model::kRmaPart}) {
+    if (name == match::model_name(m)) return m;
+  }
   throw std::invalid_argument("unknown model: " + name);
 }
 

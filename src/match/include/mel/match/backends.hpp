@@ -26,7 +26,7 @@
 
 namespace mel::match {
 
-/// Communication models. The first four are the paper's; the last three
+/// Communication models. The first four are the paper's; the next three
 /// implement its explicitly-flagged alternatives:
 ///   kNsrAgg   - Send-Recv with per-neighbor message aggregation (the
 ///               optimization the paper notes its baseline lacks),
@@ -34,7 +34,27 @@ namespace mel::match {
 ///               paper contrasts with its passive-target choice),
 ///   kNclNb    - nonblocking neighborhood collectives (the Kandalla et
 ///               al. direction cited in related work).
-enum class Model { kNsr, kRma, kNcl, kMbp, kNsrAgg, kRmaFence, kNclNb };
+/// The last three exploit node topology and modern-MPI persistence /
+/// partitioning (the MPI Advance / Träff schedule-reuse directions):
+///   kNsrHier    - two-level Send-Recv: records for ranks on a remote node
+///                 travel combined through that node's leader rank and are
+///                 relayed over the cheap intra-node links,
+///   kNclPersist - persistent neighborhood alltoallv: the exchange
+///                 schedule is built once and re-armed every round,
+///   kRmaPart    - partitioned puts: data lands in pready-delimited
+///                 partitions the target consumes as they complete.
+enum class Model {
+  kNsr,
+  kRma,
+  kNcl,
+  kMbp,
+  kNsrAgg,
+  kRmaFence,
+  kNclNb,
+  kNsrHier,
+  kNclPersist,
+  kRmaPart,
+};
 
 const char* model_name(Model m);
 
@@ -88,5 +108,45 @@ sim::RankTask ncl_nb_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
                              const graph::Distribution& dist,
                              std::vector<VertexId>* mate_out,
                              std::uint64_t* iterations_out);
+
+/// Two-level (node-aware) Send-Recv: records destined for ranks on a remote
+/// node are combined into one batch addressed to that node's leader rank
+/// (node_of(r) * ranks_per_node), which relays each record over the cheap
+/// intra-node links. Each WireMsg's `pad` field carries the final
+/// destination rank while in transit through a leader. Exits on a global
+/// allreduce of the active ghost-edge count — leaders must outlive their own
+/// local work to keep relaying for the rest of the node.
+sim::RankTask nsr_hier_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                               const graph::Distribution& dist,
+                               std::vector<VertexId>* mate_out,
+                               std::uint64_t* iterations_out);
+
+/// Persistent neighborhood alltoallv: the exchange schedule (neighbor list,
+/// slice table, validated topology) is built once by
+/// neighbor_alltoallv_init, then every round is a cheap Start/Wait pair
+/// (o_coll_persistent_start instead of the full per-call setup charge).
+sim::RankTask ncl_persist_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                                  const graph::Distribution& dist,
+                                  std::vector<VertexId>* mate_out,
+                                  std::uint64_t* iterations_out);
+
+/// Partitioned puts over the fence-style window layout: each rank streams
+/// records into its region of the target window with ordered puts and
+/// publishes a cumulative record count (the MPI_Pready analogue) every
+/// kRmaPartitionRecords records, so the target consumes early partitions
+/// while later ones are still in flight. No flush or per-round count
+/// collective; exits on a global allreduce.
+sim::RankTask rma_part_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                               const graph::Distribution& dist, int window_id,
+                               std::vector<VertexId>* mate_out,
+                               std::uint64_t* iterations_out);
+
+/// Records per partition for the partitioned-put backend (how many records
+/// a rank writes to one neighbor before publishing the running count).
+inline constexpr std::size_t kRmaPartitionRecords = 8;
+
+/// Window bytes for the partitioned variant — same layout as the fence
+/// variant: data regions plus one cumulative count slot per neighbor.
+std::size_t rma_part_window_bytes(const graph::LocalGraph& lg);
 
 }  // namespace mel::match

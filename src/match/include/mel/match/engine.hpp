@@ -47,6 +47,11 @@ struct WireMsg {
   VertexId target = kNullVertex;  // vertex owned by the receiver ("x")
   VertexId source = kNullVertex;  // vertex owned by the sender ("y")
   std::int32_t ctx = 0;
+  // Zero on the wire and at the engine boundary. The node-aware Send-Recv
+  // backend (NSR-HIER) borrows it in transit: a record travelling through a
+  // node-leader relay carries its final destination rank here, and the
+  // relay resets it to zero before the last hop. handle() rejects records
+  // whose pad was not stripped.
   std::int32_t pad = 0;
 };
 static_assert(sizeof(WireMsg) == 24);

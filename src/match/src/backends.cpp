@@ -1,6 +1,8 @@
 #include "mel/match/backends.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 
 #include "mel/util/buffer.hpp"
@@ -31,6 +33,9 @@ const char* model_name(Model m) {
     case Model::kNsrAgg: return "NSR-AGG";
     case Model::kRmaFence: return "RMA-FENCE";
     case Model::kNclNb: return "NCL-NB";
+    case Model::kNsrHier: return "NSR-HIER";
+    case Model::kNclPersist: return "NCL-PERSIST";
+    case Model::kRmaPart: return "RMA-PART";
   }
   return "?";
 }
@@ -38,12 +43,16 @@ const char* model_name(Model m) {
 std::size_t rma_window_bytes(const graph::LocalGraph& lg) {
   // One region per process neighbor sized for the worst case of 2 records
   // per shared ghost edge (paper §IV-B: at most 2 messages per ghost).
-  return static_cast<std::size_t>(2 * lg.total_ghost_edges) * sizeof(WireMsg);
+  // Widen before the doubling: total_ghost_edges is int64, and `2 * x` in
+  // the narrower arithmetic type would wrap for graphs whose ghost-edge
+  // count exceeds half the type's range.
+  return 2 * static_cast<std::size_t>(lg.total_ghost_edges) * sizeof(WireMsg);
 }
 
 std::size_t backend_buffer_bytes(Model m, const graph::LocalGraph& lg) {
+  // Same widen-before-doubling rule as rma_window_bytes.
   const auto two_per_ghost =
-      static_cast<std::size_t>(2 * lg.total_ghost_edges) * sizeof(WireMsg);
+      2 * static_cast<std::size_t>(lg.total_ghost_edges) * sizeof(WireMsg);
   switch (m) {
     case Model::kNsr:
       return 0;  // per-message dynamic buffers; peak mailbox is accounted
@@ -66,6 +75,20 @@ std::size_t backend_buffer_bytes(Model m, const graph::LocalGraph& lg) {
       return two_per_ghost / 2;
     case Model::kRmaFence:
       return lg.neighbor_ranks.size() * 4 * sizeof(std::int64_t);
+    case Model::kNsrHier:
+      // Send staging as NSR-AGG, plus a relay staging area on node leaders
+      // (sized to the observed per-turn relay volume, about half the send
+      // staging in practice).
+      return two_per_ghost / 2 + two_per_ghost / 4;
+    case Model::kNclPersist:
+      // NCL staging plus the persistent schedule tables (per-neighbor fill
+      // offsets and slice sizes) the init call pins for reuse.
+      return two_per_ghost / 2 + two_per_ghost / 4 +
+             lg.neighbor_ranks.size() * 2 * sizeof(std::int64_t);
+    case Model::kRmaPart:
+      // Fence-style origin bookkeeping plus the per-neighbor
+      // pending-partition counter.
+      return lg.neighbor_ranks.size() * 5 * sizeof(std::int64_t);
   }
   return 0;
 }
@@ -73,6 +96,13 @@ std::size_t backend_buffer_bytes(Model m, const graph::LocalGraph& lg) {
 std::size_t rma_fence_window_bytes(const graph::LocalGraph& lg) {
   return rma_window_bytes(lg) +
          lg.neighbor_ranks.size() * sizeof(std::int64_t);
+}
+
+std::size_t rma_part_window_bytes(const graph::LocalGraph& lg) {
+  // Identical layout to the fence variant: data regions plus one
+  // cumulative-count slot per process neighbor. Only the synchronization
+  // discipline differs (ordered partition publishes instead of epochs).
+  return rma_fence_window_bytes(lg);
 }
 
 // ---------------------------------------------------------------------------
@@ -309,7 +339,7 @@ sim::RankTask rma_fence_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
     }
   }
   const std::size_t counts_base =
-      static_cast<std::size_t>(2 * lg.total_ghost_edges) * sizeof(WireMsg);
+      2 * static_cast<std::size_t>(lg.total_ghost_edges) * sizeof(WireMsg);
 
   // Setup exchanges (still collective, but one-time): where my data region
   // starts in each neighbor's window, and which count slot is mine there.
@@ -496,6 +526,316 @@ sim::RankTask ncl_nb_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
       for (std::size_t i = 0; i < n; ++i) {
         eng.handle(mpi::nth_record<WireMsg>(slice, i));
       }
+    }
+    eng.drain_local();
+
+    const std::int64_t remaining =
+        co_await comm.allreduce_sum(eng.active_cross());
+    comm.obs_iteration(rounds, remaining);
+    if (remaining == 0) break;
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = rounds;
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// NSR-HIER: two-level (node-aware) Send-Recv. Records for ranks on a remote
+// node are combined into one batch addressed to that node's leader rank,
+// which relays each record over the cheap intra-node links. The expensive
+// inter-node hop carries one header per (source rank, destination node)
+// instead of one per (source rank, destination rank); record payload bytes
+// are unchanged because the final destination rides in the otherwise-unused
+// WireMsg::pad field. Exit must be global: a leader whose own edges are all
+// decided still owes relays to the rest of its node, so the loop is paced
+// by an allreduce of the active ghost-edge count (each round also advances
+// every clock, which guarantees in-flight batches eventually land).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kHierDirectTag = 65;  // final hop: every record is for the receiver
+constexpr int kHierRelayTag = 66;   // combined batch: pad carries the final rank
+}
+
+sim::RankTask nsr_hier_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                               const graph::Distribution& dist,
+                               std::vector<VertexId>* mate_out,
+                               std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  const net::Network& net = comm.machine().network();
+  const int rpn = net.params().ranks_per_node;
+  const mpi::Rank me = comm.rank();
+  const auto leader_of = [rpn](mpi::Rank r) { return (r / rpn) * rpn; };
+  std::uint64_t batches = 0;
+
+  auto flush_staged = [&] {
+    // Ordered maps keep the send schedule independent of staging order
+    // (determinism rule R1: no unordered containers on the hot path).
+    std::map<mpi::Rank, std::vector<WireMsg>> direct;  // same-node batches
+    std::map<mpi::Rank, std::vector<WireMsg>> relay;   // leader => records
+    for (const Outgoing& o : eng.outbox()) {
+      if (net.same_node(me, o.dst)) {
+        direct[o.dst].push_back(o.msg);
+      } else {
+        WireMsg rec = o.msg;
+        rec.pad = o.dst;  // final destination survives the leader hop
+        relay[leader_of(o.dst)].push_back(rec);
+      }
+    }
+    eng.outbox().clear();
+    for (const auto& [dst, recs] : direct) {
+      comm.isend(dst, kHierDirectTag,
+                 std::as_bytes(std::span<const WireMsg>(recs)));
+      ++batches;
+    }
+    for (const auto& [ldr, recs] : relay) {
+      comm.isend(ldr, kHierRelayTag,
+                 std::as_bytes(std::span<const WireMsg>(recs)));
+      ++batches;
+    }
+  };
+
+  // Unpack one incoming batch: records addressed to me are handled, the
+  // rest (possible only on a relay-tagged batch into a leader) are grouped
+  // per final destination and forwarded intra-node.
+  auto process_batch = [&](const mpi::Message& m, int tag) {
+    std::map<mpi::Rank, std::vector<WireMsg>> forward;
+    const std::size_t n = mpi::record_count<WireMsg>(m.data);
+    for (std::size_t i = 0; i < n; ++i) {
+      WireMsg rec = mpi::nth_record<WireMsg>(m.data, i);
+      if (tag == kHierRelayTag && rec.pad != me) {
+        const mpi::Rank fdst = rec.pad;
+        rec.pad = 0;
+        forward[fdst].push_back(rec);
+      } else {
+        rec.pad = 0;
+        eng.handle(rec);
+      }
+    }
+    for (const auto& [fdst, recs] : forward) {
+      comm.isend(fdst, kHierDirectTag,
+                 std::as_bytes(std::span<const WireMsg>(recs)));
+      ++batches;
+    }
+  };
+
+  eng.start();
+  flush_staged();
+
+  std::uint64_t rounds = 0;
+  for (;;) {
+    ++rounds;
+    // Drain everything visible before flushing once: staging across the
+    // whole turn is what concentrates a turn's records into one batch per
+    // destination (and per remote *node*) — flushing per message would
+    // shred the combining this backend exists for.
+    while (auto env = comm.iprobe()) {
+      const mpi::Message m = co_await comm.recv(env->src, env->tag);
+      process_batch(m, env->tag);
+    }
+    eng.drain_local();
+    flush_staged();
+    // Global exit (unlike plain NSR's local one): leaders must stay in the
+    // loop to relay even after their own edges are decided. No
+    // wait_message here — every rank has to reach the allreduce or a rank
+    // with an empty mailbox would deadlock the others.
+    const std::int64_t remaining =
+        co_await comm.allreduce_sum(eng.active_cross());
+    comm.obs_iteration(rounds, remaining);
+    if (remaining == 0) break;
+  }
+
+  // Exit hygiene: consume what is visible. Own records are handled (no-ops
+  // on dead edges); relayed records for other ranks are dropped — at global
+  // active == 0 an in-flight REQUEST is impossible (it would keep its
+  // sender's count positive), so anything still travelling is a dead
+  // REJECT/INVALID nobody needs.
+  while (auto env = comm.iprobe()) {
+    const mpi::Message m = co_await comm.recv(env->src, env->tag);
+    const std::size_t n = mpi::record_count<WireMsg>(m.data);
+    for (std::size_t i = 0; i < n; ++i) {
+      WireMsg rec = mpi::nth_record<WireMsg>(m.data, i);
+      if (env->tag == kHierRelayTag && rec.pad != me) continue;
+      rec.pad = 0;
+      eng.handle(rec);
+    }
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = batches;
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// NCL-PERSIST: persistent neighborhood alltoallv. The exchange schedule
+// (validated topology, peer list, matching state) is built once by the init
+// call — which pays the full collective entry — and every round is a cheap
+// Start/Wait pair charged o_coll_persistent_start. Wire slices are still
+// per-round pooled allocations: receivers alias a sender's slice by
+// refcount until their (later) fill event reads it, so a persistent send
+// slab reused across rounds could be overwritten before a slow neighbor
+// consumed the previous round (see machine.cpp). The pool recycles the
+// slabs, so the steady-state allocation cost is a free-list pop.
+// ---------------------------------------------------------------------------
+
+sim::RankTask ncl_persist_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                                  const graph::Distribution& dist,
+                                  std::vector<VertexId>* mate_out,
+                                  std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  const std::size_t deg = lg.neighbor_ranks.size();
+  std::uint64_t rounds = 0;
+
+  mpi::PersistentNeighborRequest req;
+  comm.neighbor_alltoallv_init(req);
+  std::vector<std::size_t> fill(deg, 0);  // reused across rounds
+
+  eng.start();
+
+  for (;;) {
+    ++rounds;
+    // Same two-pass pooled-slice fill as the other NCL variants.
+    std::fill(fill.begin(), fill.end(), std::size_t{0});
+    for (const Outgoing& o : eng.outbox()) {
+      const int k = lg.neighbor_index(o.dst);
+      if (k < 0) {
+        throw std::logic_error("ncl_persist_matcher: message to non-neighbor");
+      }
+      fill[static_cast<std::size_t>(k)] += sizeof(WireMsg);
+    }
+    std::vector<util::Buffer> slices(deg);
+    for (std::size_t k = 0; k < deg; ++k) {
+      slices[k] = util::Buffer::alloc(fill[k]);
+      fill[k] = 0;
+    }
+    for (const Outgoing& o : eng.outbox()) {
+      const auto k = static_cast<std::size_t>(lg.neighbor_index(o.dst));
+      std::memcpy(slices[k].mutable_data() + fill[k], &o.msg, sizeof(WireMsg));
+      fill[k] += sizeof(WireMsg);
+    }
+    eng.outbox().clear();
+
+    comm.neighbor_alltoallv_start(req, std::move(slices));
+    co_await comm.neighbor_alltoallv_wait(req);
+
+    for (const auto& slice : req.recv) {
+      const std::size_t n = mpi::record_count<WireMsg>(slice);
+      for (std::size_t i = 0; i < n; ++i) {
+        eng.handle(mpi::nth_record<WireMsg>(slice, i));
+      }
+    }
+    eng.drain_local();
+
+    const std::int64_t remaining =
+        co_await comm.allreduce_sum(eng.active_cross());
+    comm.obs_iteration(rounds, remaining);
+    if (remaining == 0) break;
+  }
+
+  copy_out_mates(eng, mate_out);
+  if (iterations_out != nullptr) *iterations_out = rounds;
+  co_return;
+}
+
+// ---------------------------------------------------------------------------
+// RMA-PART: partitioned puts (MPI_Psend_init / MPI_Pready flavored) over the
+// fence-style window layout. Records stream into the target's region with
+// *ordered* puts; every kRmaPartitionRecords records the origin publishes
+// its cumulative record count into its count slot at the target — the
+// Pready analogue — again ordered, so the count can never overtake the data
+// it covers. The target simply reads its local count slots and consumes up
+// to what has landed: no flush, no fence, no per-round count collective.
+// Partitions published early in a round are consumable while later ones are
+// still in flight; the allreduce that paces the exit also advances every
+// clock, so unlanded puts always land in a later round.
+// ---------------------------------------------------------------------------
+
+sim::RankTask rma_part_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
+                               const graph::Distribution& dist, int window_id,
+                               std::vector<VertexId>* mate_out,
+                               std::uint64_t* iterations_out) {
+  LocalMatcher eng(comm, lg, dist);
+  mpi::Window win = comm.window(window_id);
+  const std::size_t deg = lg.neighbor_ranks.size();
+
+  // Window layout and one-time setup exchanges exactly as the fence
+  // variant: data regions in front, one count slot per neighbor behind.
+  std::vector<std::int64_t> my_region_base(deg, 0);
+  {
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < deg; ++k) {
+      my_region_base[k] = acc;
+      acc += 2 * lg.ghost_counts[k];
+    }
+  }
+  const std::size_t counts_base =
+      2 * static_cast<std::size_t>(lg.total_ghost_edges) * sizeof(WireMsg);
+
+  const std::vector<std::int64_t> remote_base =
+      co_await comm.neighbor_alltoall_i64(my_region_base);
+  std::vector<std::int64_t> my_index_of(deg);
+  for (std::size_t k = 0; k < deg; ++k) {
+    my_index_of[k] = static_cast<std::int64_t>(k);
+  }
+  const std::vector<std::int64_t> my_slot_at =
+      co_await comm.neighbor_alltoall_i64(my_index_of);
+  const std::vector<std::int64_t> nbr_counts_base =
+      co_await comm.neighbor_alltoall_i64(std::vector<std::int64_t>(
+          deg, static_cast<std::int64_t>(counts_base)));
+
+  std::vector<std::int64_t> written(deg, 0);
+  std::vector<std::int64_t> seen(deg, 0);
+  std::vector<std::int64_t> pending(deg, 0);  // records since last publish
+  std::uint64_t rounds = 0;
+
+  const auto publish = [&](std::size_t k) {
+    const std::size_t slot =
+        static_cast<std::size_t>(nbr_counts_base[k]) +
+        static_cast<std::size_t>(my_slot_at[k]) * sizeof(std::int64_t);
+    win.put_ordered(lg.neighbor_ranks[k], slot, mpi::bytes_of(written[k]));
+    pending[k] = 0;
+  };
+
+  eng.start();
+
+  for (;;) {
+    ++rounds;
+    for (const Outgoing& o : eng.outbox()) {
+      const int k = lg.neighbor_index(o.dst);
+      if (k < 0) {
+        throw std::logic_error("rma_part_matcher: message to non-neighbor");
+      }
+      const auto ku = static_cast<std::size_t>(k);
+      const std::size_t record =
+          static_cast<std::size_t>(remote_base[ku] + written[ku]);
+      win.put_records_ordered<WireMsg>(o.dst, record,
+                                       std::span<const WireMsg>(&o.msg, 1));
+      ++written[ku];
+      if (++pending[ku] >= static_cast<std::int64_t>(kRmaPartitionRecords)) {
+        publish(ku);  // partition boundary: mark everything so far ready
+      }
+    }
+    eng.outbox().clear();
+    // Close the round's partial partitions.
+    for (std::size_t k = 0; k < deg; ++k) {
+      if (pending[k] > 0) publish(k);
+    }
+
+    // Consume whatever partitions have landed locally. Counts are
+    // cumulative and ordered behind their data, so `avail` records are
+    // always valid bytes.
+    for (std::size_t k = 0; k < deg; ++k) {
+      const std::size_t slot = counts_base + k * sizeof(std::int64_t);
+      const auto avail = mpi::from_bytes<std::int64_t>(
+          win.local().subspan(slot, sizeof(std::int64_t)));
+      for (std::int64_t r = seen[k]; r < avail; ++r) {
+        const std::size_t byte_off =
+            static_cast<std::size_t>(my_region_base[k] + r) * sizeof(WireMsg);
+        eng.handle(mpi::from_bytes<WireMsg>(
+            win.local().subspan(byte_off, sizeof(WireMsg))));
+      }
+      seen[k] = avail;
     }
     eng.drain_local();
 

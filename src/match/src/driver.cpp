@@ -65,11 +65,17 @@ Attempt run_once(const graph::DistGraph& dg, Model model,
 
   // RMA window allocation (host side, like MPI_Win_allocate at startup).
   int window_id = -1;
-  if (model == Model::kRma || model == Model::kRmaFence) {
+  if (model == Model::kRma || model == Model::kRmaFence ||
+      model == Model::kRmaPart) {
     std::vector<std::size_t> sizes(p);
     for (Rank r = 0; r < p; ++r) {
-      sizes[r] = model == Model::kRma ? rma_window_bytes(dg.local(r))
-                                      : rma_fence_window_bytes(dg.local(r));
+      switch (model) {
+        case Model::kRma: sizes[r] = rma_window_bytes(dg.local(r)); break;
+        case Model::kRmaFence:
+          sizes[r] = rma_fence_window_bytes(dg.local(r));
+          break;
+        default: sizes[r] = rma_part_window_bytes(dg.local(r)); break;
+      }
     }
     window_id = machine.allocate_window(sizes);
   }
@@ -110,6 +116,18 @@ Attempt run_once(const graph::DistGraph& dg, Model model,
       case Model::kNclNb:
         simulator.spawn(
             r, ncl_nb_matcher(comm, lg, dg.dist(), &a.mates[r], &iterations[r]));
+        break;
+      case Model::kNsrHier:
+        simulator.spawn(r, nsr_hier_matcher(comm, lg, dg.dist(), &a.mates[r],
+                                            &iterations[r]));
+        break;
+      case Model::kNclPersist:
+        simulator.spawn(r, ncl_persist_matcher(comm, lg, dg.dist(), &a.mates[r],
+                                               &iterations[r]));
+        break;
+      case Model::kRmaPart:
+        simulator.spawn(r, rma_part_matcher(comm, lg, dg.dist(), window_id,
+                                            &a.mates[r], &iterations[r]));
         break;
     }
   }

@@ -177,6 +177,11 @@ void LocalMatcher::handle(const WireMsg& msg) {
   const VertexId x = msg.target;  // ours
   const VertexId y = msg.source;  // theirs
   if (!owned(x)) throw std::logic_error("LocalMatcher: misrouted message");
+  // The pad field is transport scratch space: the node-aware backend
+  // carries a record's final rank in it across the leader hop. By the time
+  // a record reaches the engine that routing metadata must be stripped —
+  // a nonzero pad here means a backend delivered a still-in-relay record.
+  if (msg.pad != 0) throw std::logic_error("LocalMatcher: unstripped relay pad");
   comm_.compute_vertices(1);
   const EdgeId idx = entry_index(x, y);
   const VertexId lx = local_index(x);

@@ -275,6 +275,32 @@ class NeighborRequest {
   std::vector<util::Buffer> recv;  // valid after ineighbor_wait
 };
 
+/// Persistent neighborhood alltoallv (MPI_Neighbor_alltoallv_init /
+/// MPI_Start / MPI_Wait flavored):
+///
+///   mpi::PersistentNeighborRequest req;
+///   comm.neighbor_alltoallv_init(req);      // schedule built once (full
+///                                           // collective-entry cost)
+///   for (;;) {
+///     comm.neighbor_alltoallv_start(req, std::move(slices));  // cheap
+///     co_await comm.neighbor_alltoallv_wait(req);
+///     use(req.recv);
+///   }
+///
+/// The exchange schedule (neighbor list, slice-offset table, matching
+/// state) is registered at init and reused by every start, which is
+/// charged o_coll_persistent_start instead of the per-call entry.
+/// Non-movable for the same reason as NeighborRequest.
+class PersistentNeighborRequest {
+ public:
+  PersistentNeighborRequest() = default;
+  PersistentNeighborRequest(const PersistentNeighborRequest&) = delete;
+  PersistentNeighborRequest& operator=(const PersistentNeighborRequest&) =
+      delete;
+
+  std::vector<util::Buffer> recv;  // valid after neighbor_alltoallv_wait
+};
+
 class NeighborWaitAwaiter {
  public:
   NeighborWaitAwaiter(Machine& m, Rank rank);
@@ -324,6 +350,20 @@ class Window {
   void put_records(Rank target, std::size_t record_offset,
                    std::span<const T> records) {
     put(target, record_offset * sizeof(T), std::as_bytes(records));
+  }
+
+  /// Ordered (partitioned) put: like put, but guaranteed to land no
+  /// earlier than every previous *ordered* put from this rank to the same
+  /// target. The partitioned backend uses it so a partition-boundary
+  /// marker (the MPI_Pready analogue) trails its partition's data.
+  void put_ordered(Rank target, std::size_t offset,
+                   std::span<const std::byte> data);
+
+  template <class T>
+    requires std::is_trivially_copyable_v<T>
+  void put_records_ordered(Rank target, std::size_t record_offset,
+                           std::span<const T> records) {
+    put_ordered(target, record_offset * sizeof(T), std::as_bytes(records));
   }
 
   /// Complete all outstanding puts issued by this rank (passive target).
@@ -411,6 +451,21 @@ class Comm {
     m_.neighbor_begin(rank_, detail::to_buffers(slices), &req.recv);
   }
   [[nodiscard]] NeighborWaitAwaiter ineighbor_wait(NeighborRequest&) {
+    return NeighborWaitAwaiter(m_, rank_);
+  }
+  /// Persistent neighborhood alltoallv: build the exchange schedule once,
+  /// then start/wait it every round (see PersistentNeighborRequest).
+  void neighbor_alltoallv_init(PersistentNeighborRequest& req) {
+    (void)req;  // the schedule is per rank; req just receives the data
+    m_.persistent_neighbor_init(rank_);
+  }
+  void neighbor_alltoallv_start(PersistentNeighborRequest& req,
+                                std::vector<util::Buffer> slices) {
+    m_.neighbor_begin(rank_, std::move(slices), &req.recv,
+                      /*persistent_start=*/true);
+  }
+  [[nodiscard]] NeighborWaitAwaiter neighbor_alltoallv_wait(
+      PersistentNeighborRequest&) {
     return NeighborWaitAwaiter(m_, rank_);
   }
 

@@ -271,6 +271,13 @@ class Machine : public ft::Host {
   /// One-sided put into window `win` of rank `target` at byte offset.
   void put(int win, Rank origin, Rank target, std::size_t offset,
            std::span<const std::byte> data);
+  /// Like put, but completion is additionally floored by every earlier
+  /// *ordered* put from the same origin to the same target — the landing
+  /// order the partitioned (MPI_Pready flavored) protocol needs so a
+  /// partition-boundary marker can never overtake its partition's data.
+  /// Plain puts keep their independent completion times.
+  void put_ordered(int win, Rank origin, Rank target, std::size_t offset,
+                   std::span<const std::byte> data);
   /// Time at which all puts issued so far by `origin` on `win` complete.
   Time put_completion_time(int win, Rank origin) const;
   /// Time at which all puts issued so far by *any* rank on `win` complete
@@ -298,9 +305,19 @@ class Machine : public ft::Host {
 
   /// Split-phase (nonblocking) neighborhood collective: posts the
   /// contribution without parking (MPI_Ineighbor_alltoallv). Complete it
-  /// later with neighbor_wait. At most one outstanding per rank.
+  /// later with neighbor_wait. At most one outstanding per rank. With
+  /// `persistent_start` the call re-arms a schedule registered earlier by
+  /// persistent_neighbor_init and is charged o_coll_persistent_start
+  /// instead of the full collective entry.
   void neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
-                      std::vector<util::Buffer>* recv_out);
+                      std::vector<util::Buffer>* recv_out,
+                      bool persistent_start = false);
+
+  /// Build a persistent neighborhood-alltoallv schedule for `rank`
+  /// (MPI_Neighbor_alltoallv_init): validates the topology and pays the
+  /// full collective-entry cost once, so subsequent persistent
+  /// neighbor_begin calls only pay the cheap per-start overhead.
+  void persistent_neighbor_init(Rank rank);
   /// Park until the outstanding split-phase collective completes; if it
   /// already completed, advances the clock to its completion time and
   /// returns true (no parking needed).
@@ -373,6 +390,8 @@ class Machine : public ft::Host {
  private:
   void enqueue_accounting(Rank dst, std::size_t bytes);
   void ensure_topology_validated();
+  void put_impl(int win, Rank origin, Rank target, std::size_t offset,
+                std::span<const std::byte> data, bool ordered);
 
   struct Mailbox;
   struct WindowState;

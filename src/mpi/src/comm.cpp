@@ -279,6 +279,11 @@ void Window::put(Rank target, std::size_t offset,
   m_->put(id_, rank_, target, offset, data);
 }
 
+void Window::put_ordered(Rank target, std::size_t offset,
+                         std::span<const std::byte> data) {
+  m_->put_ordered(id_, rank_, target, offset, data);
+}
+
 FlushAwaiter Window::flush_all() { return FlushAwaiter(*m_, id_, rank_); }
 
 FenceAwaiter Window::fence() { return FenceAwaiter(*m_, id_, rank_); }

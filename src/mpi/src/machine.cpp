@@ -59,6 +59,12 @@ struct Machine::WindowState {
   std::vector<std::vector<std::byte>> mem;  // per rank
   std::vector<Time> last_completion;        // per origin rank
 
+  /// Per (origin, target) completion floor consulted only by *ordered*
+  /// puts (partitioned protocol): a later ordered put to the same target
+  /// never lands before an earlier one. Keyed origin * nranks + target;
+  /// sparse because only partitioned backends touch it.
+  std::map<std::uint64_t, Time> ordered_floor;
+
   // Active-target fence epochs (MPI_Win_fence): a per-window barrier that
   // also drains every outstanding put on the window.
   struct FenceInst {
@@ -91,6 +97,9 @@ struct Machine::NeighborState {
   std::vector<std::uint64_t> next_seq;
   std::vector<std::map<std::uint64_t, Call>> calls;  // rank -> seq -> call
   std::vector<Pending> pending;                      // at most one per rank
+  /// Ranks that registered a persistent alltoallv schedule
+  /// (persistent_neighbor_init); required before a persistent start.
+  std::vector<char> persistent_ready;
 };
 
 struct Machine::GlobalCollState {
@@ -211,6 +220,7 @@ Machine::Machine(sim::Simulator& simulator, net::Network network)
   neighbor_->next_seq.assign(p, 0);
   neighbor_->calls.resize(p);
   neighbor_->pending.resize(p);
+  neighbor_->persistent_ready.assign(p, 0);
   global_ = std::make_unique<GlobalCollState>();
   global_->next_seq.assign(p, 0);
   agree_ = std::make_unique<AgreeState>();
@@ -558,6 +568,17 @@ void Machine::cancel_recv(RecvTicket* ticket) {
 
 void Machine::put(int win, Rank origin, Rank target, std::size_t offset,
                   std::span<const std::byte> data) {
+  put_impl(win, origin, target, offset, data, /*ordered=*/false);
+}
+
+void Machine::put_ordered(int win, Rank origin, Rank target,
+                          std::size_t offset,
+                          std::span<const std::byte> data) {
+  put_impl(win, origin, target, offset, data, /*ordered=*/true);
+}
+
+void Machine::put_impl(int win, Rank origin, Rank target, std::size_t offset,
+                       std::span<const std::byte> data, bool ordered) {
   const prof::ScopedTimer pt(prof::Section::kRma);
   auto& ws = *windows_.at(win);
   if (offset + data.size() > ws.mem.at(target).size()) {
@@ -580,9 +601,20 @@ void Machine::put(int win, Rank origin, Rank target, std::size_t offset,
                         data.size() + kHeaderBytes, sim_.rank_now(origin));
   }
 
-  const Time completion =
+  Time completion =
       sim_.rank_now(origin) +
       net_.transfer_time(origin, target, data.size() + kHeaderBytes);
+  if (ordered) {
+    // Partitioned protocol: a later ordered put from this origin to this
+    // target must not land before an earlier one (MPI_Pready semantics —
+    // the partition marker trails its data). Equal completion times are
+    // fine: same-time events run in schedule order, which is issue order.
+    Time& floor = ws.ordered_floor[static_cast<std::uint64_t>(origin) *
+                                       static_cast<std::uint64_t>(nranks()) +
+                                   static_cast<std::uint64_t>(target)];
+    completion = std::max(completion, floor);
+    floor = completion;
+  }
   ws.last_completion[origin] = std::max(ws.last_completion[origin], completion);
   puts_scheduled_ += 1;
   // Pooled staging copy (the payload's only copy; the old path copied
@@ -644,8 +676,23 @@ std::size_t Machine::window_size(int win, Rank rank) const {
 // Neighborhood collectives
 // ---------------------------------------------------------------------------
 
+void Machine::persistent_neighbor_init(Rank rank) {
+  const prof::ScopedTimer pt(prof::Section::kNeighbor);
+  ensure_topology_validated();
+  auto& st = *neighbor_;
+  // Building the schedule (peer list, slice offsets, matching state) costs
+  // one full collective entry; every persistent start after this re-arms
+  // it for o_coll_persistent_start only.
+  const auto& topo = topology_[rank];
+  const Time entry = net_.collective_entry(static_cast<int>(topo.size()));
+  sim_.charge(rank, entry);
+  counters_[rank].comm_ns += entry;
+  st.persistent_ready[rank] = 1;
+}
+
 void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
-                             std::vector<util::Buffer>* recv_out) {
+                             std::vector<util::Buffer>* recv_out,
+                             bool persistent_start) {
   const prof::ScopedTimer pt(prof::Section::kNeighbor);
   ensure_topology_validated();
   auto& st = *neighbor_;
@@ -656,7 +703,13 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
        << " slice(s) but its topology has " << topo.size() << " neighbor(s)";
     throw std::invalid_argument(os.str());
   }
-  const Time entry = net_.collective_entry(static_cast<int>(topo.size()));
+  if (persistent_start && st.persistent_ready[rank] == 0) {
+    throw std::logic_error(
+        "persistent neighbor start without persistent_neighbor_init");
+  }
+  const Time entry = persistent_start
+                         ? net_.params().o_coll_persistent_start
+                         : net_.collective_entry(static_cast<int>(topo.size()));
   sim_.charge(rank, entry);
   if (chaos_) {
     sim_.charge(rank, chaos_->collective_skew(rank, 0, st.next_seq[rank]));

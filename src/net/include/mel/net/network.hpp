@@ -65,6 +65,14 @@ struct Params {
   Time o_coll_per_neighbor = 400;  // per topology neighbor per call
   Time o_reduce_hop = 1100;        // per log2(p) stage of allreduce/barrier
 
+  /// Per-start overhead of a *persistent* neighborhood collective
+  /// (MPI_Neighbor_alltoallv_init + MPI_Start flavored): the schedule —
+  /// peer list, slice offsets, matching state — was built once at init
+  /// time (which pays the full collective_entry), so each start only
+  /// re-arms it. This is the MPI-4 persistence win the MPI Advance work
+  /// measures on irregular workloads.
+  Time o_coll_persistent_start = 250;
+
   /// Local work model (charged by the graph algorithms, not the network).
   /// Calibrated so compute per adjacency entry sits in the tens of ns
   /// (pointer-chasing on DDR4), giving communication-to-compute ratios in
@@ -95,7 +103,10 @@ class Network {
 
   /// Pure wire time for one transfer of `bytes` from src to dst
   /// (latency + size/bandwidth). Software overheads are charged separately
-  /// by the MPI layer.
+  /// by the MPI layer. A self send (src == dst) is priced exactly like any
+  /// other intra-node transfer: loopback traffic traverses the same
+  /// shared-memory transport as node-local peers, so it pays the full
+  /// alpha_intra + bytes * beta_intra — no undocumented discount.
   Time transfer_time(Rank src, Rank dst, std::size_t bytes) const;
 
   /// Cost of entering a collective with `neighbors` peers.

@@ -15,11 +15,11 @@ Network::Network(int nranks, const Params& params)
 }
 
 Time Network::transfer_time(Rank src, Rank dst, std::size_t bytes) const {
-  if (src == dst) {
-    // Self sends still pay a (small) copy through shared memory.
-    return params_.alpha_intra / 2 +
-           static_cast<Time>(static_cast<double>(bytes) * params_.beta_intra * 0.5);
-  }
+  // A self send goes through the same shared-memory path as any other
+  // same-node pair, so it is priced as a plain intra-node transfer (see
+  // network.hpp). An earlier revision halved both terms here, which no
+  // measurement justified and which made loopback mysteriously cheaper
+  // than the LogGP model everywhere else.
   const bool intra = same_node(src, dst);
   const Time alpha = intra ? params_.alpha_intra : params_.alpha_inter;
   const double beta = intra ? params_.beta_intra : params_.beta_inter;

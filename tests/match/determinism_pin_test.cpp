@@ -43,6 +43,9 @@ const char* enum_name(match::Model m) {
     case match::Model::kNsrAgg: return "kNsrAgg";
     case match::Model::kRmaFence: return "kRmaFence";
     case match::Model::kNclNb: return "kNclNb";
+    case match::Model::kNsrHier: return "kNsrHier";
+    case match::Model::kNclPersist: return "kNclPersist";
+    case match::Model::kRmaPart: return "kRmaPart";
   }
   return "?";
 }
@@ -71,6 +74,15 @@ const Pin kPins[] = {
     {match::Model::kNclNb, 1, 0xa9e7f21fdf002dfdULL, 51.473790011130916},
     {match::Model::kNclNb, 2, 0x1fe2aff5dd45b6d1ULL, 53.660999179114697},
     {match::Model::kNclNb, 3, 0xaa3e1b74f093851eULL, 51.000196711333338},
+    {match::Model::kNsrHier, 1, 0x394e2343fac50207ULL, 51.473790011130916},
+    {match::Model::kNsrHier, 2, 0xc7ee56b05316550dULL, 53.660999179114697},
+    {match::Model::kNsrHier, 3, 0xf7b7de896a11cc9aULL, 51.000196711333338},
+    {match::Model::kNclPersist, 1, 0x299d402aa7458459ULL, 51.473790011130916},
+    {match::Model::kNclPersist, 2, 0x80056c1c8c396306ULL, 53.660999179114697},
+    {match::Model::kNclPersist, 3, 0x47b7359505199fb0ULL, 51.000196711333338},
+    {match::Model::kRmaPart, 1, 0x28976596e9f40f37ULL, 51.473790011130916},
+    {match::Model::kRmaPart, 2, 0xd61c4a28826e39acULL, 53.660999179114697},
+    {match::Model::kRmaPart, 3, 0xa45dbea63a8437c4ULL, 51.000196711333338},
 };
 
 match::RunResult run_one(match::Model model, std::uint64_t seed) {

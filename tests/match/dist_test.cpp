@@ -117,7 +117,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Model::kNsr, Model::kRma,
                                          Model::kNcl, Model::kMbp,
                                          Model::kNsrAgg, Model::kRmaFence,
-                                         Model::kNclNb),
+                                         Model::kNclNb, Model::kNsrHier,
+                                         Model::kNclPersist, Model::kRmaPart),
                        ::testing::Values(1, 2, 3, 7, 16)),
     [](const ::testing::TestParamInfo<std::tuple<Model, int>>& info) {
       std::string name = model_name(std::get<0>(info.param));

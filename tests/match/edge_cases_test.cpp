@@ -15,7 +15,8 @@ TEST(EdgeCases, AllNegativeWeightsMatchNothing) {
   const auto serial = serial_half_approx(g);
   EXPECT_EQ(serial.cardinality, 0);
   for (Model m : {Model::kNsr, Model::kRma, Model::kNcl, Model::kNsrAgg,
-                  Model::kRmaFence, Model::kNclNb}) {
+                  Model::kRmaFence, Model::kNclNb, Model::kNsrHier,
+                  Model::kNclPersist, Model::kRmaPart}) {
     const auto run = run_match(g, 5, m);
     EXPECT_EQ(run.matching.cardinality, 0) << model_name(m);
   }
@@ -33,7 +34,8 @@ TEST(EdgeCases, TwoVerticesAcrossRankBoundary) {
   const graph::Edge edges[] = {{0, 1, 2.5}};
   const auto g = graph::Csr::from_edges(2, edges);
   for (Model m : {Model::kNsr, Model::kRma, Model::kNcl, Model::kMbp,
-                  Model::kNsrAgg, Model::kRmaFence, Model::kNclNb}) {
+                  Model::kNsrAgg, Model::kRmaFence, Model::kNclNb,
+                  Model::kNsrHier, Model::kNclPersist, Model::kRmaPart}) {
     const auto run = run_match(g, 2, m);
     EXPECT_EQ(run.matching.mate[0], 1) << model_name(m);
     EXPECT_EQ(run.matching.mate[1], 0) << model_name(m);
@@ -113,6 +115,33 @@ TEST(EdgeCases, ExtensionBackendsReportDistinctPrimitives) {
   // One collective per round (no separate count exchange) vs NCL's two.
   const auto ncl = run_match(g, 8, Model::kNcl);
   EXPECT_LT(nb.totals.neighbor_colls, ncl.totals.neighbor_colls);
+}
+
+// The persistent neighborhood variant re-arms a prebuilt schedule instead
+// of paying the full per-call collective entry: the matching must be
+// bit-identical to NCL-NB's (same round structure, same record order) with
+// a strictly smaller completion time.
+TEST(EdgeCases, PersistentCollectiveMatchesNclNbFaster) {
+  const auto g = gen::erdos_renyi(300, 2000, 3);
+  const auto nb = run_match(g, 8, Model::kNclNb);
+  const auto persist = run_match(g, 8, Model::kNclPersist);
+  EXPECT_EQ(persist.matching.mate, nb.matching.mate);
+  EXPECT_EQ(persist.matching.weight, nb.matching.weight);
+  EXPECT_GT(persist.totals.neighbor_colls, 0u);
+  EXPECT_LT(persist.time, nb.time);
+}
+
+// Partitioned puts publish progress through ordered count puts, not
+// per-round collectives or flushes: only the three setup exchanges remain.
+TEST(EdgeCases, PartitionedRmaAvoidsRoundCollectives) {
+  const auto g = gen::erdos_renyi(300, 2000, 3);
+  const auto part = run_match(g, 8, Model::kRmaPart);
+  EXPECT_GT(part.totals.puts, 0u);
+  EXPECT_EQ(part.totals.flushes, 0u);
+  EXPECT_EQ(part.totals.fences, 0u);
+  const auto rma = run_match(g, 8, Model::kRma);
+  EXPECT_LT(part.totals.neighbor_colls, rma.totals.neighbor_colls);
+  EXPECT_EQ(part.matching.weight, rma.matching.weight);
 }
 
 }  // namespace

@@ -29,7 +29,8 @@ TEST(FaultSweep, WeightIdenticalToFaultFreeAcrossSeedsAndBackends) {
   const auto baseline = run_match(g, kRanks, Model::kNcl);
   ASSERT_TRUE(is_valid_matching(g, baseline.matching.mate));
   for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
-    for (const Model m : {Model::kNsr, Model::kMbp, Model::kNsrAgg}) {
+    for (const Model m :
+         {Model::kNsr, Model::kMbp, Model::kNsrAgg, Model::kNsrHier}) {
       const auto cfg = faulty_cfg(seed, 0.10, 0.05, 0.05);
       const auto run = run_match(g, kRanks, m, cfg);
       EXPECT_TRUE(is_valid_matching(g, run.matching.mate))

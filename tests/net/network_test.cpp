@@ -51,9 +51,19 @@ TEST(Network, TransferScalesWithBytes) {
               1e3);
 }
 
-TEST(Network, SelfSendIsCheapest) {
+// Pins the self-send pricing bugfix: loopback traffic uses the same
+// shared-memory transport as any node-local pair, so src == dst must cost
+// exactly what a same-node transfer costs. (An earlier revision halved both
+// the latency and bandwidth terms for self sends, which no measurement
+// justified and which silently rewarded backends that happened to message
+// themselves.)
+TEST(Network, SelfSendPricedAsPlainIntraNodeTransfer) {
   Network n(16, small_params());
-  EXPECT_LT(n.transfer_time(3, 3, 64), n.transfer_time(0, 1, 64));
+  EXPECT_EQ(n.transfer_time(3, 3, 64), n.transfer_time(0, 1, 64));
+  EXPECT_EQ(n.transfer_time(0, 0, 0), n.params().alpha_intra);
+  const auto& p = n.params();
+  EXPECT_EQ(n.transfer_time(7, 7, 4096),
+            p.alpha_intra + static_cast<sim::Time>(4096 * p.beta_intra));
 }
 
 TEST(Network, CollectiveEntryGrowsWithNeighbors) {

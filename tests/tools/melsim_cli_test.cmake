@@ -1,0 +1,37 @@
+# CLI contract for melsim's --model flag, run as a CTest script:
+#   * an unknown model name exits 2 and the error points at --help,
+#   * --help exits 0 and lists every backend the build knows about.
+# Invoked with -DMELSIM=<path-to-binary>.
+if(NOT DEFINED MELSIM)
+  message(FATAL_ERROR "pass -DMELSIM=<melsim binary>")
+endif()
+
+execute_process(
+  COMMAND ${MELSIM} --model NO-SUCH-MODEL --ranks 4 --gen rmat --gen-scale 6
+  RESULT_VARIABLE bad_code
+  OUTPUT_VARIABLE bad_out
+  ERROR_VARIABLE bad_err)
+if(NOT bad_code EQUAL 2)
+  message(FATAL_ERROR "unknown model: expected exit 2, got ${bad_code}")
+endif()
+if(NOT bad_err MATCHES "unknown model: NO-SUCH-MODEL")
+  message(FATAL_ERROR "unknown model: missing diagnostic, got: ${bad_err}")
+endif()
+if(NOT bad_err MATCHES "--help")
+  message(FATAL_ERROR "unknown model: error must point at --help: ${bad_err}")
+endif()
+
+execute_process(
+  COMMAND ${MELSIM} --help
+  RESULT_VARIABLE help_code
+  OUTPUT_VARIABLE help_out
+  ERROR_VARIABLE help_err)
+if(NOT help_code EQUAL 0)
+  message(FATAL_ERROR "--help: expected exit 0, got ${help_code}")
+endif()
+foreach(model NSR RMA NCL MBP NSR-AGG RMA-FENCE NCL-NB NSR-HIER NCL-PERSIST
+        RMA-PART)
+  if(NOT help_out MATCHES "${model}")
+    message(FATAL_ERROR "--help does not list backend ${model}")
+  endif()
+endforeach()

@@ -43,7 +43,8 @@ struct Flag {
 constexpr Flag kFlags[] = {
     {"help", "", "print this option list and exit"},
     {"algo", "match|bfs|color", "algorithm to run (default match)"},
-    {"model", "NSR|RMA|NCL|MBP|NSR-AGG|RMA-FENCE|NCL-NB",
+    {"model",
+     "NSR|RMA|NCL|MBP|NSR-AGG|RMA-FENCE|NCL-NB|NSR-HIER|NCL-PERSIST|RMA-PART",
      "communication model (default NCL)"},
     {"ranks", "P", "simulated MPI ranks (default 64)"},
     {"dataset", "ID", "build a Table II dataset by id"},
@@ -112,10 +113,12 @@ match::Model parse_model(const std::string& name) {
   for (const auto m :
        {match::Model::kNsr, match::Model::kRma, match::Model::kNcl,
         match::Model::kMbp, match::Model::kNsrAgg, match::Model::kRmaFence,
-        match::Model::kNclNb}) {
+        match::Model::kNclNb, match::Model::kNsrHier, match::Model::kNclPersist,
+        match::Model::kRmaPart}) {
     if (name == match::model_name(m)) return m;
   }
-  throw std::invalid_argument("unknown model: " + name);
+  throw std::invalid_argument("unknown model: " + name +
+                              " (run `melsim --help` for the supported list)");
 }
 
 /// Parse "R@NS[,R@NS...]" into scheduled fail-stop crashes.
