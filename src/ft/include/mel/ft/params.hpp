@@ -19,6 +19,20 @@ class TransportError : public std::runtime_error {
       : std::runtime_error(std::move(what)) {}
 };
 
+/// How the match driver continues after survivors agree on a failed set.
+enum class Recovery {
+  /// ULFM shrink-and-continue: probe the survivors' *live* state at abort
+  /// time, keep mutually-recorded matched pairs, and resume
+  /// locally-dominant rounds on the induced surviving subgraph — no
+  /// rollback to an earlier checkpoint. Falls back to kRollback when the
+  /// live frontier is unrecoverable (a surviving unfinished rank exposes
+  /// no state probe).
+  kShrink,
+  /// Roll back to the last periodic checkpoint (the PR 2 path) and
+  /// re-match from there.
+  kRollback,
+};
+
 struct Params {
   /// Route point-to-point traffic through the ack/retransmit transport.
   /// The match driver also enables it automatically whenever the chaos
@@ -39,9 +53,15 @@ struct Params {
   double rto_jitter = 0.25;
 
   /// Virtual-time interval between driver-level checkpoints of per-rank
-  /// matching state (0 = no checkpoints; a crash then recovers from an
-  /// empty checkpoint, i.e. re-matches the whole surviving subgraph).
+  /// matching state (0 = no checkpoints; shrink recovery still works off
+  /// the live survivor state, and rollback recovery re-matches the whole
+  /// surviving subgraph from scratch).
   Time checkpoint_ns = 0;
+
+  /// Crash-recovery strategy (see Recovery). Shrink-and-continue by
+  /// default: fresher than any checkpoint and checkpoint-free runs stay
+  /// recoverable.
+  Recovery recovery = Recovery::kShrink;
 
   /// Reject out-of-range knobs with named errors.
   void validate() const {

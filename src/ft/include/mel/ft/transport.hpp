@@ -93,6 +93,23 @@ class Transport {
   static constexpr std::size_t kFtHeaderBytes = 16;
   static constexpr std::size_t kAckBytes = kEnvelopeBytes + 8;
 
+  /// Synthetic tag spaces for one-sided traffic routed through the
+  /// transport. channel_key packs tags into 21 bits and application p2p
+  /// tags are small, so the high bits keep RMA windows and neighborhood
+  /// collective slices on channels (and chaos fate streams) of their own:
+  /// kRmaTagBase + window id for puts, kCollTag for every collective slice
+  /// on a given (src, dst) pair.
+  static constexpr int kRmaTagBase = 1 << 20;
+  static constexpr int kCollTag = (1 << 20) | (1 << 19);
+
+  /// Outcome of an eagerly simulated one-way segment (an RMA put or a
+  /// neighborhood-collective slice): when the repaired data lands at the
+  /// target, and how many wire copies the repair took.
+  struct SegmentFate {
+    Time deliver_at = 0;  // in-order landing time at the target
+    int copies = 0;       // data copies posted (1 = no retransmission)
+  };
+
   /// `chaos` may be null (reliable wire: the transport still sequences,
   /// acks, and prices, but nothing is ever lost). All references must
   /// outlive the transport.
@@ -108,6 +125,23 @@ class Transport {
   void send(Rank src, Rank dst, int tag, std::span<const std::byte> data,
             FlowId flow = 0);
 
+  /// Run one one-sided segment (RMA put / collective slice) through the
+  /// sequence/CRC/ack-retransmit machinery and return when its data lands
+  /// at the target. One-sided traffic keeps no receiver-side payload
+  /// state, and every chaos fate is a pure function of
+  /// (seed, channel, seq, attempt) — so the whole retransmit/ack timeline
+  /// is computed eagerly at issue time, bit-identical to an event-driven
+  /// replay, while counters/prices/wire records are scheduled at their
+  /// proper virtual times. The ack is issued at the target's window layer
+  /// on every intact copy (duplicates filtered and re-acked), which is
+  /// what preserves one-sided completion semantics: the origin's
+  /// completion time is the landing of the first intact copy, pushed
+  /// forward only by the per-channel in-order floor. Throws TransportError
+  /// past retry_max with a live destination; a segment issued to (or
+  /// from) an already-failed rank is abandoned with no wire activity.
+  SegmentFate send_segment(Rank src, Rank dst, int tag,
+                           std::size_t payload_bytes, FlowId flow, Time start);
+
   /// Failure notification: abandon unacknowledged segments to the dead
   /// rank and discard its reorder buffers; stops retransmission.
   void on_rank_failed(Rank rank);
@@ -122,6 +156,16 @@ class Transport {
   /// Unacknowledged segments posted by one sender rank (the per-rank
   /// retransmit-queue gauge sampled by the observability layer).
   std::uint64_t pending_segments_from(Rank src) const;
+
+  /// Test hook: preseed a channel's sender/receiver sequence counters
+  /// (reorder-window behaviour near the sequence-number limit).
+  void preseed_channel_for_test(Rank src, Rank dst, int tag,
+                                std::uint64_t seq);
+
+  /// Test hook: the retransmit deadline offset for a given attempt
+  /// (exercises the backoff-exponent cap without a retransmit storm).
+  Time rto_for_test(Rank src, Rank dst, int tag, std::uint64_t seq,
+                    int attempt);
 
  private:
   struct Pending {

@@ -57,6 +57,124 @@ void Transport::send(Rank src, Rank dst, int tag,
   attempt(ch, seq, sim_.rank_now(src));
 }
 
+Transport::SegmentFate Transport::send_segment(Rank src, Rank dst, int tag,
+                                               std::size_t payload_bytes,
+                                               FlowId flow, Time start) {
+  const prof::ScopedTimer pt(prof::Section::kTransport);
+  Channel& ch = channel(src, dst, tag);
+  const std::uint64_t seq = ch.next_seq++;
+  ch.next_deliver = ch.next_seq;  // delivered exactly once, in order, below
+  const std::size_t wire_bytes = payload_bytes + kEnvelopeBytes + kFtHeaderBytes;
+  const auto floored = [&](Time raw) {
+    const Time at = std::max(raw, ch.last_deliver + 1);
+    ch.last_deliver = at;
+    return at;
+  };
+  if (host_.ft_rank_failed(dst) || host_.ft_rank_failed(src)) {
+    // Abandoned at issue: no wire activity, and the dead target never
+    // observes the landing; the nominal time only keeps completion math
+    // monotone at the origin.
+    return SegmentFate{floored(start + net_.transfer_time(src, dst, wire_bytes)),
+                       0};
+  }
+
+  // Both endpoints are live: replay the full retransmit/ack timeline
+  // eagerly (see the header comment — fate draws are pure, so this is
+  // bit-identical to an event-driven replay). `t` walks the sender's
+  // copy-post times, `acked_at` is the earliest time an ack reaches the
+  // sender and cancels its timer, `raw_deliver` the landing of the first
+  // intact copy.
+  Time raw_deliver = -1;
+  Time acked_at = -1;
+  int copies = 0;
+  Time t = start;
+  for (int n = 0;; ++n) {
+    if (acked_at >= 0 && t >= acked_at) break;  // timer finds the seq acked
+    if (n > params_.retry_max) {
+      std::ostringstream os;
+      os << "ft: one-sided segment seq=" << seq << " on channel (" << src
+         << " -> " << dst << ", tag=" << tag << ") unacknowledged after "
+         << (params_.retry_max + 1) << " copies (retry_max="
+         << params_.retry_max << ") with a live destination";
+      throw TransportError(os.str());
+    }
+    ++copies;
+    const bool retransmit = n > 0;
+    sim_.schedule(t, [this, src, dst, wire_bytes, flow, retransmit, t] {
+      if (retransmit) {
+        host_.ft_count(src, Stat::kRetransmit, flow, t);
+        host_.ft_price(src, net_.params().o_send);
+      }
+      host_.ft_record_wire(src, dst, wire_bytes);
+    });
+    if (chaos_ != nullptr && chaos_->wire_lost(src, dst, tag, seq, n)) {
+      sim_.schedule(t, [this, src, flow, t] {
+        host_.ft_count(src, Stat::kDropped, flow, t);
+      });
+    } else {
+      const bool corrupt =
+          chaos_ != nullptr && chaos_->wire_corrupted(src, dst, tag, seq, n);
+      Time wire = net_.transfer_time(src, dst, wire_bytes);
+      if (chaos_ != nullptr) {
+        wire += chaos_->transfer_jitter(src, dst, tag, wire);
+      }
+      const Time at = t + wire;
+      const bool dup = chaos_ != nullptr &&
+                       chaos_->wire_duplicated(src, dst, tag, seq, n);
+      const Time arrivals[2] = {at, dup ? at + wire / 2 + 1 : Time{-1}};
+      for (const Time arrive_at : arrivals) {
+        if (arrive_at < 0) continue;
+        if (corrupt) {
+          // The CRC catches the flip at the target's window layer; no
+          // ack, so the sender's timer repairs it.
+          sim_.schedule(arrive_at, [this, dst, flow, arrive_at] {
+            host_.ft_count(dst, Stat::kCorruptDetected, flow, arrive_at);
+          });
+          continue;
+        }
+        const bool first_good = raw_deliver < 0;
+        if (first_good) raw_deliver = arrive_at;
+        // The target's window layer acks every intact copy; duplicates
+        // are filtered but re-acked (a lost ack must not stall the
+        // sender's timer forever).
+        sim_.schedule(arrive_at, [this, src, dst, flow, arrive_at,
+                                  first_good] {
+          if (!first_good) {
+            host_.ft_count(dst, Stat::kDupFiltered, flow, arrive_at);
+          }
+          host_.ft_count(dst, Stat::kAck, flow, arrive_at);
+          host_.ft_price(dst, net_.params().o_ack);
+          host_.ft_record_wire(dst, src, kAckBytes);
+        });
+        const std::uint64_t ack_no = ch.acks_sent++;
+        if (chaos_ != nullptr &&
+            chaos_->ack_lost(src, dst, tag, seq, ack_no)) {
+          sim_.schedule(arrive_at, [this, dst, flow, arrive_at] {
+            host_.ft_count(dst, Stat::kDropped, flow, arrive_at);
+          });
+        } else {
+          const Time back = arrive_at + net_.transfer_time(dst, src, kAckBytes);
+          if (acked_at < 0 || back < acked_at) acked_at = back;
+        }
+      }
+    }
+    t += rto(ch, seq, n);
+  }
+  return SegmentFate{floored(raw_deliver), copies};
+}
+
+void Transport::preseed_channel_for_test(Rank src, Rank dst, int tag,
+                                         std::uint64_t seq) {
+  Channel& ch = channel(src, dst, tag);
+  ch.next_seq = seq;
+  ch.next_deliver = seq;
+}
+
+Time Transport::rto_for_test(Rank src, Rank dst, int tag, std::uint64_t seq,
+                             int attempt) {
+  return rto(channel(src, dst, tag), seq, attempt);
+}
+
 Time Transport::rto(const Channel& ch, std::uint64_t seq, int attempt) const {
   // Exponential backoff with a capped exponent (the cap only matters past
   // retry_max anyway) and deterministic decorrelating jitter.

@@ -83,8 +83,12 @@ struct RunResult {
   /// owned by surviving ranks, and `time`/`totals` span the aborted run
   /// plus every recovery pass.
   std::vector<Rank> failed_ranks;
-  /// Checkpoint-rollback recovery passes that ran (0 = none needed).
+  /// Recovery passes that ran after crashes (0 = none needed).
   int recoveries = 0;
+  /// How many of those recoveries were ULFM shrink-and-continue (live
+  /// survivor state, no rollback); recoveries - shrinks fell back to the
+  /// checkpoint rollback path.
+  int shrinks = 0;
 };
 
 /// Run one model on a prebuilt distribution.

@@ -577,6 +577,12 @@ sim::RankTask nsr_hier_matcher(mpi::Comm& comm, const graph::LocalGraph& lg,
     for (const Outgoing& o : eng.outbox()) {
       if (net.same_node(me, o.dst)) {
         direct[o.dst].push_back(o.msg);
+      } else if (comm.rank_failed(leader_of(o.dst))) {
+        // Relay failover: a dead leader must not orphan records addressed
+        // to its node's survivors. Skip the combining and send direct —
+        // pricier, but the record arrives (or fail-fasts on a dead final
+        // destination like any NSR send would).
+        direct[o.dst].push_back(o.msg);
       } else {
         WireMsg rec = o.msg;
         rec.pad = o.dst;  // final destination survives the leader hop

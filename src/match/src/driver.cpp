@@ -21,11 +21,18 @@ struct Checkpoint {
 };
 
 /// Outcome of one simulator pass, which either completes or aborts on a
-/// rank failure (carrying the last pre-crash checkpoint for rollback).
+/// rank failure (carrying both the last pre-crash checkpoint for rollback
+/// and the survivors' live state at abort time for shrink-and-continue).
 struct Attempt {
   bool failed = false;
   std::vector<Rank> failed_ranks;
   Checkpoint ckpt;
+  /// Survivor state probed at abort time (ULFM shrink-and-continue):
+  /// strictly fresher than any periodic checkpoint, valid even with
+  /// checkpoint_ns = 0. Invalid when some surviving unfinished rank has no
+  /// state probe — the unrecoverable-frontier case that falls back to the
+  /// checkpoint rollback path.
+  Checkpoint live;
   std::vector<std::vector<VertexId>> mates;  // per-rank engine output
   RunResult result;  // matching fields empty when `failed`
 };
@@ -165,6 +172,33 @@ Attempt run_once(const graph::DistGraph& dg, Model model,
   a.failed = !a.failed_ranks.empty();
   if (!a.failed) machine.audit_or_throw();
 
+  if (a.failed) {
+    // Capture the surviving frontier for shrink-and-continue. Matched
+    // pairs are final in the locally-dominant algorithm, so the state the
+    // survivors hold *right now* is a checkpoint taken at the moment of
+    // failure. Parked coroutine frames stay alive until the Simulator is
+    // destroyed, so probing them here is safe; a rank that already
+    // returned (cleanly or by unwinding on RankFailedError) reads from
+    // its output vector instead.
+    a.live.valid = true;
+    a.live.at = simulator.max_rank_time();
+    a.live.state.resize(p);
+    for (Rank r = 0; r < p; ++r) {
+      if (machine.rank_failed(r)) continue;
+      if (simulator.rank_done(r)) {
+        a.live.state[r].assign(a.mates[r].begin(), a.mates[r].end());
+      } else if (machine.has_state_probe(r)) {
+        a.live.state[r] = machine.probe_state(r);
+      } else {
+        // A surviving, unfinished rank with no probe: its frontier cannot
+        // be reconstructed, so shrink recovery is off the table.
+        a.live.valid = false;
+        a.live.state.clear();
+        break;
+      }
+    }
+  }
+
   RunResult& result = a.result;
   result.model = model;
   result.nranks = p;
@@ -227,26 +261,33 @@ RunResult run_match(const graph::Csr& g, int nranks, Model model,
     return result;
   }
 
-  // -- Checkpoint rollback and recovery -------------------------------------
+  // -- Crash recovery: shrink-and-continue, or checkpoint rollback ----------
   //
   // Matched pairs are *final* in the locally-dominant algorithm (monotone
-  // state), so any pair both endpoints recorded by the last pre-crash
-  // checkpoint is durable — unless an endpoint's owner died, which takes
-  // its vertices (and their matches) out of the computation. Everything
-  // else rolls back: surviving, still-unmatched vertices are re-matched
-  // from scratch on the induced subgraph over the surviving ranks.
+  // state), so any pair both endpoints recorded is durable — unless an
+  // endpoint's owner died, which takes its vertices (and their matches)
+  // out of the computation. The default (ft::Recovery::kShrink) sources
+  // those pairs from the survivors' live state probed at abort time and
+  // resumes on the induced surviving subgraph with no rollback at all;
+  // kRollback — or an unrecoverable live frontier — sources them from the
+  // last periodic checkpoint instead. Either way, surviving vertices not
+  // covered by a durable pair are re-matched from scratch on the induced
+  // subgraph over the surviving ranks.
+  const bool shrink =
+      cfg.ft.recovery == ft::Recovery::kShrink && a.live.valid;
+  const Checkpoint& base = shrink ? a.live : a.ckpt;
   const auto& dist = dg.dist();
   const VertexId n = g.nverts();
   std::vector<char> rank_failed(static_cast<std::size_t>(nranks), 0);
   for (const Rank r : a.failed_ranks) rank_failed[static_cast<std::size_t>(r)] = 1;
 
   std::vector<VertexId> rolled(static_cast<std::size_t>(n), kNullVertex);
-  if (a.ckpt.valid) {
+  if (base.valid) {
     for (Rank r = 0; r < nranks; ++r) {
-      const auto& st = a.ckpt.state[r];
-      const VertexId base = dist.begin(r);
+      const auto& st = base.state[r];
+      const VertexId base_v = dist.begin(r);
       for (std::size_t i = 0; i < st.size(); ++i) {
-        rolled[static_cast<std::size_t>(base) + i] =
+        rolled[static_cast<std::size_t>(base_v) + i] =
             static_cast<VertexId>(st[i]);
       }
     }
@@ -273,6 +314,7 @@ RunResult run_match(const graph::Csr& g, int nranks, Model model,
 
   RunResult result = std::move(a.result);
   result.recoveries = 1;
+  result.shrinks = shrink ? 1 : 0;
   result.matching.mate = std::move(durable);
   if (sub.nverts() > 0) {
     // Re-run the same backend on the survivors. Remaining scheduled
@@ -294,6 +336,8 @@ RunResult run_match(const graph::Csr& g, int nranks, Model model,
     result.trace_hash = util::hash_combine(result.trace_hash, rec.trace_hash);
     result.iterations += rec.iterations;
     result.totals += rec.totals;
+    result.recoveries += rec.recoveries;
+    result.shrinks += rec.shrinks;
   }
   result.matching.cardinality = matching_cardinality(result.matching.mate);
   result.matching.weight = matching_weight(g, result.matching.mate);

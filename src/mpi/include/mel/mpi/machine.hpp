@@ -197,6 +197,9 @@ class Machine : public ft::Host {
   void enable_ft(const ft::Params& params);
   bool ft_enabled() const { return transport_ != nullptr; }
   const ft::Transport* transport() const { return transport_.get(); }
+  /// Mutable access for the transport's *_for_test hooks (channel
+  /// preseeding near the sequence-number limit, rto probing).
+  ft::Transport* transport() { return transport_.get(); }
 
   /// ULFM-style failure queries: the set of ranks known to have failed.
   bool rank_failed(Rank rank) const { return failed_[rank] != 0; }
@@ -208,6 +211,13 @@ class Machine : public ft::Host {
   /// automatically for every chaos-configured crash; a crash landing after
   /// the rank already returned is a no-op.
   void handle_rank_failure(Rank rank);
+
+  /// ULFM shrink surface (MPIX_Comm_shrink flavored): the dense
+  /// re-numbering survivors agree on after `agree_failed` — old rank ->
+  /// new rank in the shrunk job, -1 for failed ranks. The continuation
+  /// run builds its ghost tables, neighborhood schedules and persistent
+  /// requests against the shrunk size (nranks() - failed_count()).
+  std::vector<Rank> shrink_map() const;
 
   /// Per-rank application-state probe for driver-level checkpointing: the
   /// matching engine registers a callback returning its current state

@@ -82,6 +82,9 @@ struct Machine::NeighborState {
     std::vector<util::Buffer> slices;  // per neighbor of caller
     int consumers_left = 0;
     std::vector<FlowId> slice_flows;  // parallel to slices
+    /// Reliable-transport landing time of each slice at its receiver
+    /// (parallel to slices); empty on the perfect-wire path.
+    std::vector<Time> slice_deliver;
   };
   struct Pending {
     std::uint64_t seq = 0;
@@ -584,6 +587,16 @@ void Machine::put_impl(int win, Rank origin, Rank target, std::size_t offset,
   if (offset + data.size() > ws.mem.at(target).size()) {
     throw std::out_of_range("Window::put past end of target window");
   }
+  if (transport_ == nullptr && chaos_ && net_.params().chaos.wire_faults()) {
+    std::ostringstream os;
+    os << "Window::" << (ordered ? "put_ordered" : "put")
+       << ": chaos config injects wire faults (loss/duplication/corruption) "
+          "but the reliable transport is not enabled, so one-sided traffic "
+          "on the RMA backends (RMA/RMA-FENCE/RMA-PART) would bypass the "
+          "fault model; enable it with Machine::enable_ft (melsim: --ft, "
+          "driver: RunConfig::ft.enabled) before the first put";
+    throw std::logic_error(os.str());
+  }
   const auto& p = net_.params();
   const Time put_start = sim_.rank_now(origin);
   sim_.charge(origin, p.o_put);
@@ -592,18 +605,37 @@ void Machine::put_impl(int win, Rank origin, Rank target, std::size_t offset,
   c.puts += 1;
   c.bytes_put += data.size();
   c.comm_ns += p.o_put;
-  matrix_.record(origin, target, data.size() + kHeaderBytes);
   const FlowId flow = ++next_flow_;
+  // Under the reliable transport the wire record happens per copy in the
+  // transport itself (ft_record_wire), exactly as on the p2p path.
+  if (transport_ == nullptr) {
+    matrix_.record(origin, target, data.size() + kHeaderBytes);
+    if (tracer_ != nullptr) {
+      tracer_->wire(origin, target, data.size() + kHeaderBytes,
+                    sim_.rank_now(origin));
+    }
+  }
   if (tracer_ != nullptr) {
-    tracer_->wire(origin, target, data.size() + kHeaderBytes,
-                  sim_.rank_now(origin));
     tracer_->flow_begin(flow, Channel::kRma, origin, target, /*tag=*/-1,
                         data.size() + kHeaderBytes, sim_.rank_now(origin));
   }
 
-  Time completion =
-      sim_.rank_now(origin) +
-      net_.transfer_time(origin, target, data.size() + kHeaderBytes);
+  Time completion;
+  if (transport_ != nullptr) {
+    // Sequence/CRC/ack-retransmit segments per (origin, target, window)
+    // channel: the completion time is the landing of the first intact
+    // copy at the target's window layer, so a lossy wire shows up as a
+    // later completion (and a later flush/fence), never as lost data.
+    completion = transport_
+                     ->send_segment(origin, target,
+                                    ft::Transport::kRmaTagBase + win,
+                                    data.size(), flow,
+                                    sim_.rank_now(origin))
+                     .deliver_at;
+  } else {
+    completion = sim_.rank_now(origin) +
+                 net_.transfer_time(origin, target, data.size() + kHeaderBytes);
+  }
   if (ordered) {
     // Partitioned protocol: a later ordered put from this origin to this
     // target must not land before an earlier one (MPI_Pready semantics —
@@ -707,6 +739,16 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
     throw std::logic_error(
         "persistent neighbor start without persistent_neighbor_init");
   }
+  if (transport_ == nullptr && chaos_ && net_.params().chaos.wire_faults()) {
+    std::ostringstream os;
+    os << "neighbor collective: chaos config injects wire faults "
+          "(loss/duplication/corruption) but the reliable transport is not "
+          "enabled, so the per-neighbor slices of the collective backends "
+          "(NCL/NCL-NB/NCL-PERSIST) would bypass the fault model; enable it "
+          "with Machine::enable_ft (melsim: --ft, driver: "
+          "RunConfig::ft.enabled) before the first collective";
+    throw std::logic_error(os.str());
+  }
   const Time entry = persistent_start
                          ? net_.params().o_coll_persistent_start
                          : net_.collective_entry(static_cast<int>(topo.size()));
@@ -719,11 +761,17 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
   std::vector<FlowId> slice_flows(topo.size(), 0);
   for (std::size_t i = 0; i < topo.size(); ++i) {
     total_bytes += slices[i].size();
-    matrix_.record(rank, topo[i], slices[i].size() + kHeaderBytes);
+    // Under the reliable transport each slice's wire copies are recorded
+    // by the transport itself (ft_record_wire), like every other channel.
+    if (transport_ == nullptr) {
+      matrix_.record(rank, topo[i], slices[i].size() + kHeaderBytes);
+    }
     slice_flows[i] = ++next_flow_;
     if (tracer_ != nullptr) {
-      tracer_->wire(rank, topo[i], slices[i].size() + kHeaderBytes,
-                    sim_.rank_now(rank));
+      if (transport_ == nullptr) {
+        tracer_->wire(rank, topo[i], slices[i].size() + kHeaderBytes,
+                      sim_.rank_now(rank));
+      }
       tracer_->flow_begin(slice_flows[i], Channel::kNeighbor, rank, topo[i],
                           /*tag=*/-1, slices[i].size() + kHeaderBytes,
                           sim_.rank_now(rank));
@@ -737,10 +785,26 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
 
   const std::uint64_t seq = st.next_seq[rank]++;
   const Time arrive = sim_.rank_now(rank);
+  std::vector<Time> slice_deliver;
+  if (transport_ != nullptr) {
+    // Each slice rides its own sequence/CRC/ack-retransmit segment on the
+    // (rank, neighbor) collective channel; the landing times feed the
+    // pairwise-exchange completion math in complete_neighbor_op, so a
+    // repaired slice delays the collective rather than vanishing.
+    slice_deliver.resize(topo.size(), 0);
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      slice_deliver[i] =
+          transport_
+              ->send_segment(rank, topo[i], ft::Transport::kCollTag,
+                             slices[i].size(), slice_flows[i], arrive)
+              .deliver_at;
+    }
+  }
   st.calls[rank].emplace(
       seq, NeighborState::Call{arrive, std::move(slices),
                                static_cast<int>(topo.size()),
-                               std::move(slice_flows)});
+                               std::move(slice_flows),
+                               std::move(slice_deliver)});
 
   auto& pend = st.pending[rank];
   if (pend.active) throw std::logic_error("rank already in neighbor collective");
@@ -825,7 +889,14 @@ void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
     // stochastic block / social graphs, Tables III-IV — therefore pay a
     // latency per neighbor, which is precisely why the paper sees NCL/RMA
     // degrade there while staying fast on bounded neighborhoods (RGG).
-    wire += net_.transfer_time(n, rank, data[i].size() + kHeaderBytes);
+    // Under the reliable transport each slice's exchange cost is its
+    // actual (possibly retransmitted) landing delay, which also keeps the
+    // completion at or past every slice's landing time.
+    if (!call.slice_deliver.empty()) {
+      wire += call.slice_deliver.at(pos) - call.arrive;
+    } else {
+      wire += net_.transfer_time(n, rank, data[i].size() + kHeaderBytes);
+    }
     if (--call.consumers_left == 0) st.calls[n].erase(it);
   }
   // A rank with no neighbors completes instantly; its own call has no
@@ -959,6 +1030,15 @@ void Machine::handle_rank_failure(Rank rank) {
   std::vector<std::uint64_t> seqs;
   for (const auto& [seq, inst] : agree_->insts) seqs.push_back(seq);
   for (const std::uint64_t seq : seqs) maybe_complete_agree(seq);
+}
+
+std::vector<Rank> Machine::shrink_map() const {
+  std::vector<Rank> map(static_cast<std::size_t>(nranks()), -1);
+  Rank next = 0;
+  for (Rank r = 0; r < nranks(); ++r) {
+    if (failed_[r] == 0) map[static_cast<std::size_t>(r)] = next++;
+  }
+  return map;
 }
 
 void Machine::set_state_probe(Rank rank, StateProbe probe) {

@@ -24,13 +24,18 @@ RunConfig faulty_cfg(std::uint64_t seed, double loss, double dup,
 }
 
 TEST(FaultSweep, WeightIdenticalToFaultFreeAcrossSeedsAndBackends) {
+  // All ten backends: since the transport also carries RMA puts and
+  // neighborhood-collective slices, the one-sided and collective models
+  // face the same wire faults as p2p and must repair them identically.
   const auto g = gen::erdos_renyi(500, 3000, 11);
   constexpr int kRanks = 8;
   const auto baseline = run_match(g, kRanks, Model::kNcl);
   ASSERT_TRUE(is_valid_matching(g, baseline.matching.mate));
   for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
     for (const Model m :
-         {Model::kNsr, Model::kMbp, Model::kNsrAgg, Model::kNsrHier}) {
+         {Model::kNsr, Model::kRma, Model::kNcl, Model::kMbp, Model::kNsrAgg,
+          Model::kRmaFence, Model::kNclNb, Model::kNsrHier, Model::kNclPersist,
+          Model::kRmaPart}) {
       const auto cfg = faulty_cfg(seed, 0.10, 0.05, 0.05);
       const auto run = run_match(g, kRanks, m, cfg);
       EXPECT_TRUE(is_valid_matching(g, run.matching.mate))
@@ -49,13 +54,24 @@ TEST(FaultSweep, WeightIdenticalToFaultFreeAcrossSeedsAndBackends) {
   }
 }
 
-TEST(FaultSweep, RmaBackendUnaffectedByWireFaults) {
-  // One-sided puts are modeled on reliable hardware; wire faults apply to
-  // p2p traffic only. The run must still work with the transport armed.
+TEST(FaultSweep, OneSidedTrafficIsFaultedAndRepaired) {
+  // RMA puts and neighborhood-collective slices travel through the same
+  // sequence/CRC/ack segments as p2p sends: the faults must visibly hit
+  // the one-sided traffic (retransmits, drops) and be repaired — not be
+  // silently exempted as "reliable hardware".
   const auto g = gen::erdos_renyi(500, 3000, 11);
   const auto baseline = run_match(g, 8, Model::kNcl);
-  const auto run = run_match(g, 8, Model::kRma, faulty_cfg(7, 0.10, 0.0, 0.0));
-  EXPECT_DOUBLE_EQ(run.matching.weight, baseline.matching.weight);
+  for (const Model m : {Model::kRma, Model::kRmaFence, Model::kRmaPart,
+                        Model::kNcl, Model::kNclNb, Model::kNclPersist}) {
+    const auto clean = run_match(g, 8, m);
+    const auto run = run_match(g, 8, m, faulty_cfg(7, 0.10, 0.05, 0.05));
+    EXPECT_GT(run.totals.retransmits, 0u) << model_name(m);
+    EXPECT_GT(run.totals.dropped, 0u) << model_name(m);
+    EXPECT_DOUBLE_EQ(run.matching.weight, baseline.matching.weight)
+        << model_name(m);
+    // Repair costs virtual time on the one-sided paths too.
+    EXPECT_GT(run.time, clean.time) << model_name(m);
+  }
 }
 
 TEST(FaultSweep, FaultyRunsAreReproducible) {

@@ -5,7 +5,9 @@
 // failure surface: fail-fast sends to dead ranks and survivor agreement.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "mel/ft/params.hpp"
@@ -105,6 +107,91 @@ TEST(FtTransport, FaultyRunsAreDeterministic) {
   EXPECT_EQ(ca.corrupt_detected, cb.corrupt_detected);
   EXPECT_EQ(ca.dup_filtered, cb.dup_filtered);
   EXPECT_EQ(ta, tb);
+}
+
+TEST(FtTransport, SequencingStaysExactNearTheSequenceNumberLimit) {
+  // Channels whose sequence counters sit within a few hundred of 2^64 - 1
+  // must still deliver exactly once, in order, under loss + duplication:
+  // the dup filter compares raw 64-bit sequence numbers, and nothing in
+  // the reorder window may assume "small" sequence values.
+  World w(2, faulty_params(0.2, 0.3, 0.0, /*seed=*/5));
+  w.machine.enable_ft({});
+  constexpr std::uint64_t kNearMax =
+      std::numeric_limits<std::uint64_t>::max() - 200;
+  // Both directions of the (0, 1) pair on the stream tag, so acks and data
+  // both run with near-limit sequence numbers.
+  w.machine.transport()->preseed_channel_for_test(0, 1, 3, kNearMax);
+  w.machine.transport()->preseed_channel_for_test(1, 0, 3, kNearMax);
+  std::vector<std::int64_t> got;
+  w.spawn_all([&](Comm& c) { return stream_body(c, got); });
+  w.run();
+  EXPECT_EQ(got, expected_stream());
+  EXPECT_GT(w.machine.total_counters().dup_filtered, 0u);
+  w.machine.audit_or_throw();
+}
+
+TEST(FtTransport, RetransmitBackoffIsCappedUnderAStorm) {
+  // The rto exponent saturates at 16: a segment stuck behind an absurd
+  // loss streak backs off no further than rto_base * backoff^16 * (1 +
+  // jitter), so a retransmit storm cannot push timers to astronomically
+  // distant virtual times.
+  World w(2, test_params());
+  w.machine.enable_ft({});
+  auto* tr = w.machine.transport();
+  const ft::Params p;  // defaults: rto_base 25us, backoff 2.0, jitter 0.25
+  const double ceil_ns = static_cast<double>(p.rto_base) *
+                         std::pow(p.rto_backoff, 16) * (1.0 + p.rto_jitter);
+  const double floor_ns =
+      static_cast<double>(p.rto_base) * std::pow(p.rto_backoff, 16);
+  for (int attempt = 16; attempt <= 48; ++attempt) {
+    const sim::Time t = tr->rto_for_test(0, 1, 3, /*seq=*/7, attempt);
+    EXPECT_GE(static_cast<double>(t), floor_ns) << "attempt " << attempt;
+    EXPECT_LE(static_cast<double>(t), ceil_ns) << "attempt " << attempt;
+  }
+  // Below the cap the backoff actually grows (spot-check a doubling).
+  EXPECT_GT(tr->rto_for_test(0, 1, 3, 7, 8),
+            tr->rto_for_test(0, 1, 3, 7, 2));
+}
+
+TEST(FtTransport, RetryExhaustionWithALiveDestinationIsAnError) {
+  // Past retry_max with the peer still alive, the transport surfaces a
+  // named TransportError instead of hanging: that combination means a bug
+  // or a loss rate the protocol was never meant to survive.
+  World w(2, faulty_params(0.97, 0.0, 0.0, /*seed=*/3));
+  ft::Params p;
+  p.retry_max = 3;
+  w.machine.enable_ft(p);
+  std::vector<std::int64_t> got;
+  w.spawn_all([&](Comm& c) { return stream_body(c, got); });
+  EXPECT_THROW(w.run(), ft::TransportError);
+}
+
+TEST(FtTransport, AckToADeadSenderIsHarmless) {
+  // The sender dies right after posting; its last message still lands at
+  // the receiver, whose ack then targets a dead rank. The ack must settle
+  // quietly (no throw, no stuck segment) — the ULFM surface only
+  // fail-fasts *application* traffic to dead ranks, not protocol acks.
+  net::Params p = test_params();
+  p.chaos.crashes.push_back({/*rank=*/0, /*at=*/2 * sim::kMicrosecond});
+  World w(2, p);
+  w.machine.enable_ft({});
+  std::vector<std::int64_t> got;
+  auto body = [&](Comm& c) -> RankTask {
+    if (c.rank() == 0) {
+      c.isend_pod<std::int64_t>(1, 3, 42);  // posted before the crash
+      co_await c.sleep(1 * sim::kSecond);   // killed long before this
+    } else {
+      Message m = co_await c.recv(0, 3);
+      got.push_back(mpi::from_bytes<std::int64_t>(m.data));
+    }
+    co_return;
+  };
+  w.spawn_all(body);
+  w.run();
+  EXPECT_EQ(got, std::vector<std::int64_t>{42});
+  EXPECT_EQ(w.machine.failed_ranks(), std::vector<sim::Rank>{0});
+  EXPECT_TRUE(w.machine.transport()->idle());
+  EXPECT_EQ(w.machine.transport()->pending_segments(), 0u);
 }
 
 TEST(FtTransport, WireFaultsWithoutTransportAreRejected) {

@@ -1,6 +1,9 @@
-# CLI contract for melsim's --model flag, run as a CTest script:
+# CLI contract for melsim's --model and fault flags, run as a CTest script:
 #   * an unknown model name exits 2 and the error points at --help,
-#   * --help exits 0 and lists every backend the build knows about.
+#   * --help exits 0 and lists every backend the build knows about,
+#   * --fault-crash rejects out-of-range ranks, non-positive times, and
+#     malformed R@NS pairs at parse time (exit 2, --help pointer),
+#   * --ft-recovery rejects unknown strategies the same way.
 # Invoked with -DMELSIM=<path-to-binary>.
 if(NOT DEFINED MELSIM)
   message(FATAL_ERROR "pass -DMELSIM=<melsim binary>")
@@ -35,3 +38,58 @@ foreach(model NSR RMA NCL MBP NSR-AGG RMA-FENCE NCL-NB NSR-HIER NCL-PERSIST
     message(FATAL_ERROR "--help does not list backend ${model}")
   endif()
 endforeach()
+
+# --fault-crash validation: each bad form is a parse-time usage error that
+# exits 2 with a diagnostic naming the flag and pointing at --help, before
+# any graph is generated.
+function(expect_crash_rejected label expect_diag)
+  set(args ${ARGN})
+  execute_process(
+    COMMAND ${MELSIM} --model NSR --ranks 4 --gen er --verts 50 --edges 200
+            ${args}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR "${label}: expected exit 2, got ${code} (${err})")
+  endif()
+  if(NOT err MATCHES "${expect_diag}")
+    message(FATAL_ERROR "${label}: missing diagnostic '${expect_diag}': ${err}")
+  endif()
+  if(NOT err MATCHES "--help")
+    message(FATAL_ERROR "${label}: error must point at --help: ${err}")
+  endif()
+  if(out MATCHES "input:")
+    message(FATAL_ERROR "${label}: graph was built before flag validation")
+  endif()
+endfunction()
+
+expect_crash_rejected("rank out of range" "rank 9 out of range"
+                      --fault-crash 9@1000)
+expect_crash_rejected("negative rank" "rank -1 out of range"
+                      --fault-crash -1@1000)
+expect_crash_rejected("non-positive time" "must be a positive"
+                      --fault-crash 2@0)
+expect_crash_rejected("negative time" "must be a positive"
+                      --fault-crash 2@-77)
+expect_crash_rejected("malformed pair" "expected R@NS"
+                      --fault-crash bogus)
+expect_crash_rejected("non-integer rank" "expected R@NS"
+                      --fault-crash x@1000)
+expect_crash_rejected("trailing junk" "expected R@NS"
+                      --fault-crash 2@1000zzz)
+expect_crash_rejected("bad pair in list" "rank 7 out of range"
+                      --fault-crash 1@500,7@900)
+expect_crash_rejected("unknown recovery" "unknown --ft-recovery"
+                      --ft-recovery nope)
+
+# A well-formed schedule is accepted (exit 0).
+execute_process(
+  COMMAND ${MELSIM} --model NSR --ranks 4 --gen er --verts 50 --edges 200
+          --fault-crash 1@50000 --ft-recovery shrink
+  RESULT_VARIABLE ok_code
+  OUTPUT_VARIABLE ok_out
+  ERROR_VARIABLE ok_err)
+if(NOT ok_code EQUAL 0)
+  message(FATAL_ERROR "valid --fault-crash: expected exit 0, got ${ok_code}: ${ok_err}")
+endif()

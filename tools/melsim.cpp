@@ -82,6 +82,9 @@ constexpr Flag kFlags[] = {
     {"ft-retry-max", "K", "max retransmits before giving up (default 16)"},
     {"ft-checkpoint-ns", "N",
      "checkpoint interval for crash recovery, in virtual ns (0=off)"},
+    {"ft-recovery", "shrink|rollback",
+     "crash recovery strategy: ULFM shrink-and-continue on live survivor "
+     "state (default) or rollback to the last checkpoint"},
     {"watchdog-horizon", "NS", "abort if virtual time exceeds NS (0=off)"},
     {"no-audit", "", "disable finalize-time invariant audits"},
     {"host-profile", "",
@@ -121,8 +124,13 @@ match::Model parse_model(const std::string& name) {
                               " (run `melsim --help` for the supported list)");
 }
 
-/// Parse "R@NS[,R@NS...]" into scheduled fail-stop crashes.
-std::vector<chaos::Config::Crash> parse_crashes(const std::string& text) {
+/// Parse "R@NS[,R@NS...]" into scheduled fail-stop crashes, validating
+/// each pair at parse time: the rank must exist in the job and the crash
+/// time must be positive. Bad values exit 2 with a --help pointer (same
+/// convention as an unknown --model) instead of surfacing as a runtime
+/// error deep in chaos setup.
+std::vector<chaos::Config::Crash> parse_crashes(const std::string& text,
+                                                int ranks) {
   std::vector<chaos::Config::Crash> out;
   std::size_t pos = 0;
   while (pos < text.size()) {
@@ -131,17 +139,47 @@ std::vector<chaos::Config::Crash> parse_crashes(const std::string& text) {
     const std::string piece = text.substr(pos, comma - pos);
     const auto at = piece.find('@');
     if (at == std::string::npos || at == 0 || at + 1 >= piece.size()) {
-      throw std::invalid_argument("--fault-crash: expected R@NS, got \"" +
-                                  piece + "\"");
+      throw std::invalid_argument(
+          "--fault-crash: expected R@NS, got \"" + piece +
+          "\" (run `melsim --help` for the format)");
     }
+    char* rank_end = nullptr;
+    char* time_end = nullptr;
     chaos::Config::Crash c;
-    c.rank = static_cast<sim::Rank>(std::strtoll(piece.c_str(), nullptr, 10));
+    c.rank = static_cast<sim::Rank>(
+        std::strtoll(piece.c_str(), &rank_end, 10));
     c.at = static_cast<sim::Time>(
-        std::strtoll(piece.c_str() + at + 1, nullptr, 10));
+        std::strtoll(piece.c_str() + at + 1, &time_end, 10));
+    if (rank_end != piece.c_str() + at || *time_end != '\0') {
+      throw std::invalid_argument(
+          "--fault-crash: expected R@NS with integer R and NS, got \"" +
+          piece + "\" (run `melsim --help` for the format)");
+    }
+    if (c.rank < 0 || c.rank >= ranks) {
+      throw std::invalid_argument(
+          "--fault-crash: rank " + std::to_string(c.rank) +
+          " out of range for --ranks " + std::to_string(ranks) +
+          " (run `melsim --help` for the format)");
+    }
+    if (c.at <= 0) {
+      throw std::invalid_argument(
+          "--fault-crash: crash time must be a positive virtual-ns value, "
+          "got " + std::to_string(c.at) +
+          " (run `melsim --help` for the format)");
+    }
     out.push_back(c);
     pos = comma + 1;
   }
   return out;
+}
+
+/// Parse --ft-recovery (same exit-2 + --help convention).
+ft::Recovery parse_recovery(const std::string& name) {
+  if (name == "shrink") return ft::Recovery::kShrink;
+  if (name == "rollback") return ft::Recovery::kRollback;
+  throw std::invalid_argument(
+      "unknown --ft-recovery: " + name +
+      " (expected shrink or rollback; run `melsim --help` for the list)");
 }
 
 graph::Csr load_graph(const util::Cli& cli) {
@@ -175,6 +213,18 @@ int run(const util::Cli& cli) {
   const auto model = parse_model(cli.get("model", "NCL"));
   const int ranks = static_cast<int>(cli.get_int("ranks", 64));
   const bool csv = cli.get_bool("csv", false);
+
+  // Validate fault/recovery flags before any graph work: a malformed
+  // --fault-crash or --ft-recovery is a usage error (exit 2 + --help
+  // pointer), not something to discover after minutes of graph loading.
+  std::vector<chaos::Config::Crash> crashes;
+  if (cli.has("fault-crash")) {
+    crashes = parse_crashes(cli.get("fault-crash", ""), ranks);
+  }
+  ft::Recovery recovery = ft::Recovery::kShrink;
+  if (cli.has("ft-recovery")) {
+    recovery = parse_recovery(cli.get("ft-recovery", "shrink"));
+  }
 
   const bool host_profile =
       cli.get_bool("host-profile", false) || cli.has("host-profile-json");
@@ -213,14 +263,13 @@ int run(const util::Cli& cli) {
   cfg.net.chaos.loss = cli.get_double("fault-loss", 0.0);
   cfg.net.chaos.duplication = cli.get_double("fault-dup", 0.0);
   cfg.net.chaos.corruption = cli.get_double("fault-corrupt", 0.0);
-  if (cli.has("fault-crash")) {
-    cfg.net.chaos.crashes = parse_crashes(cli.get("fault-crash", ""));
-  }
+  cfg.net.chaos.crashes = std::move(crashes);
   cfg.ft.enabled = cli.get_bool("ft", false);
   cfg.ft.retry_max =
       static_cast<int>(cli.get_int("ft-retry-max", cfg.ft.retry_max));
   cfg.ft.checkpoint_ns =
       static_cast<sim::Time>(cli.get_int("ft-checkpoint-ns", cfg.ft.checkpoint_ns));
+  cfg.ft.recovery = recovery;
 
   if (algo == "match") {
     match::RunResult run;
@@ -266,9 +315,9 @@ int run(const util::Cli& cli) {
           if (!list.empty()) list += ",";
           list += std::to_string(r);
         }
-        std::printf("faults: failed_ranks=[%s] recoveries=%d  (matching "
-                    "covers surviving ranks only)\n",
-                    list.c_str(), run.recoveries);
+        std::printf("faults: failed_ranks=[%s] recoveries=%d shrinks=%d  "
+                    "(matching covers surviving ranks only)\n",
+                    list.c_str(), run.recoveries, run.shrinks);
       }
     }
     if (cli.has("matrix") && run.matrix != nullptr) {
