@@ -233,6 +233,50 @@ SuiteRow suite_neighbor_1k() {
   return row;
 }
 
+/// The ring workload again on the sharded engine (--threads 4): tracks
+/// the threaded run loop's host throughput. On a multi-core host
+/// events/sec should approach ring_1k x cores; on a single-core box the
+/// row records the sharding overhead instead (see substrate_floor.json —
+/// this row only ever warns).
+SuiteRow suite_ring_1k_threaded() {
+  constexpr int kRanks = 1024;
+  constexpr int kRounds = 48;
+  SuiteRow row;
+  row.name = "ring_1k_t4";
+  sim::Simulator s(kRanks);
+  s.set_threads(4);
+  mpi::Machine m(s, net::Network(kRanks, net::Params{}));
+  for (sim::Rank r = 0; r < kRanks; ++r) {
+    s.spawn(r, ring_exchange(m.comm(r), kRounds));
+  }
+  const WallTimer t;
+  s.run();
+  row.wall_s = t.seconds();
+  row.events = s.events_executed();
+  row.messages = static_cast<std::uint64_t>(kRanks) * kRounds;
+  return row;
+}
+
+/// End-to-end 512-rank RGG matching at a given thread count — the
+/// strong-scaling headline pair for the sharded engine. CI records both
+/// rows; EXPERIMENTS.md derives the speedup column from their wall times.
+SuiteRow suite_match_rgg512(int threads) {
+  const auto g = gen::random_geometric(
+      60'000, gen::rgg_radius_for_degree(60'000, 24.0), 7);
+  SuiteRow row;
+  row.name = "match_NSR_rgg512";
+  if (threads != 1) row.name += "_t" + std::to_string(threads);
+  match::RunConfig cfg;
+  cfg.threads = threads;
+  const WallTimer t;
+  const auto r = match::run_match(g, 512, match::Model::kNsr, cfg);
+  row.wall_s = t.seconds();
+  row.events = r.sim_events;
+  row.messages = r.totals.isends + r.totals.puts + r.totals.neighbor_colls;
+  benchmark::DoNotOptimize(r.matching.cardinality);
+  return row;
+}
+
 /// One end-to-end matching run per backend on a fixed R-MAT input.
 SuiteRow suite_match(match::Model model) {
   const auto g = gen::rmat(10, 8, 7);
@@ -251,7 +295,10 @@ int run_json_suite(const char* path) {
   std::vector<SuiteRow> rows;
   rows.push_back(suite_event_loop());
   rows.push_back(suite_ring_1k());
+  rows.push_back(suite_ring_1k_threaded());
   rows.push_back(suite_neighbor_1k());
+  rows.push_back(suite_match_rgg512(1));
+  rows.push_back(suite_match_rgg512(8));
   for (const auto model :
        {match::Model::kNsr, match::Model::kRma, match::Model::kNcl,
         match::Model::kMbp, match::Model::kNsrAgg, match::Model::kRmaFence,

@@ -43,6 +43,12 @@ struct RunConfig {
   /// the chaos config injects wire faults or schedules crashes, regardless
   /// of ft.enabled.
   ft::Params ft{};
+  /// Host threads for the sharded discrete-event engine: ranks are
+  /// partitioned into that many shards, each advancing in conservative
+  /// LogGP-lookahead windows. Results — trace_hash, matching, counters,
+  /// metrics — are bit-identical at any thread count; chaos/fault-tolerant
+  /// runs fall back to the sequential engine automatically. 1 = sequential.
+  int threads = 1;
 };
 
 struct RunResult {

@@ -46,6 +46,7 @@ Attempt run_once(const graph::DistGraph& dg, Model model,
   a.mates.resize(p);
 
   sim::Simulator simulator(p);
+  simulator.set_threads(cfg.threads);
   simulator.set_horizon(cfg.watchdog_horizon);
   mpi::Machine machine(simulator, net::Network(p, cfg.net));
   machine.set_audit(cfg.audit);

@@ -6,12 +6,14 @@
 // (comm.hpp), whose awaiters call the "internal" sections below.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mel/chaos/chaos.hpp"
@@ -351,27 +353,45 @@ class Machine : public ft::Host {
   /// Install (or clear, with nullptr) the operation tracer.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Run a tracer callback at the current call site's position in the
+  /// global event order. The tracer is shared across all ranks, so inside a
+  /// sharded window the call is deferred to the window barrier (where
+  /// deferred actions replay in exact merged order); everywhere else —
+  /// sequential engine, merge phase, pre/post-run — it runs inline. Every
+  /// value the callback needs must be captured eagerly: by the time a
+  /// deferred callback runs, rank clocks may have advanced.
+  template <class F>
+  void with_trace(F&& f) {
+    if (tracer_ == nullptr) return;
+    if (sim_.in_window_phase()) {
+      sim_.defer([this, f = std::forward<F>(f)]() mutable { f(*tracer_); });
+    } else {
+      f(*tracer_);
+    }
+  }
+
   /// Record one completed operation interval if a tracer is installed.
   void trace_op(Rank rank, const char* category, Time start) {
-    if (tracer_ != nullptr) {
-      tracer_->record(rank, category, start, sim_.rank_now(rank));
-    }
+    if (tracer_ == nullptr) return;
+    const Time end = sim_.rank_now(rank);
+    with_trace([=](Tracer& t) { t.record(rank, category, start, end); });
   }
 
   /// Emit a point event on the tracer (rank -1 = machine-wide). Used by the
   /// driver for checkpoints/recovery marks so it needs no obs dependency.
   void trace_instant(Rank rank, const char* name, Time t, FlowId flow = 0) {
-    if (tracer_ != nullptr) tracer_->instant(rank, name, t, flow);
+    with_trace([=](Tracer& tr) { tr.instant(rank, name, t, flow); });
   }
 
   /// Emit one per-backend-iteration metrics record for `rank` at its
   /// current local clock (called via Comm::obs_iteration; purely
   /// observational — charges nothing, schedules nothing).
   void trace_iteration(Rank rank, std::uint64_t iter, std::int64_t active) {
-    if (tracer_ != nullptr) {
-      tracer_->iteration(rank, iter, active, counters_[rank],
-                         sim_.rank_now(rank));
-    }
+    if (tracer_ == nullptr) return;
+    const Time t = sim_.rank_now(rank);
+    with_trace([=, c = counters_[rank]](Tracer& tr) {
+      tr.iteration(rank, iter, active, c, t);
+    });
   }
 
   /// Sample per-rank gauges (mailbox depth/bytes, in-flight bytes, FT
@@ -420,7 +440,11 @@ class Machine : public ft::Host {
   std::vector<std::unique_ptr<Comm>> comms_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::vector<Rank>> topology_;
-  bool topology_validated_ = true;  // cleared by set_topology
+  /// Cleared by set_topology, set by the first neighborhood collective
+  /// after validation. Atomic because in sharded mode several shards can
+  /// race to re-validate; validation itself is pure (reads only), so the
+  /// worst case is redundant validation, never a torn flag.
+  std::atomic<bool> topology_validated_{true};
 
   std::vector<std::unique_ptr<WindowState>> windows_;
   std::unique_ptr<NeighborState> neighbor_;
@@ -466,9 +490,18 @@ class Machine : public ft::Host {
   std::uint64_t abandoned_payload_bytes_ = 0;
   std::uint64_t puts_scheduled_ = 0;
   std::uint64_t puts_landed_ = 0;
-  /// Next message-flow id; assigned unconditionally (cheap) so flows stay
-  /// identical whether or not a tracer is installed mid-run.
-  FlowId next_flow_ = 0;
+  /// Per-rank message-flow counters; assigned unconditionally (cheap) so
+  /// flows stay identical whether or not a tracer is installed mid-run.
+  /// Striped per injecting rank (flow = count * nranks + rank + 1) instead
+  /// of one global counter so flow assignment is rank-local — no shared
+  /// counter between shards — and identical at every thread count.
+  std::vector<FlowId> next_flow_;
+
+  /// Next flow id for a message injected by `rank` (isend / put / slice).
+  FlowId new_flow(Rank rank) {
+    return next_flow_[rank]++ * static_cast<FlowId>(nranks()) +
+           static_cast<FlowId>(rank) + 1;
+  }
 };
 
 }  // namespace mel::mpi

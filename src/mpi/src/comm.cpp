@@ -289,6 +289,14 @@ FlushAwaiter Window::flush_all() { return FlushAwaiter(*m_, id_, rank_); }
 FenceAwaiter Window::fence() { return FenceAwaiter(*m_, id_, rank_); }
 
 GetAwaiter Window::get(Rank target, std::size_t offset, std::size_t nbytes) {
+  if (m_->simulator().threaded()) {
+    // A get reads the *target's* window bytes when it completes, which
+    // under the sharded engine would race the target shard's own puts.
+    // No backend uses get on a hot path; run gets with --threads 1.
+    throw std::logic_error(
+        "Window::get is unsupported with --threads > 1; use the sequential "
+        "engine for one-sided reads");
+  }
   if (offset + nbytes > m_->window_size(id_, target)) {
     throw std::out_of_range("Window::get past end of target window");
   }

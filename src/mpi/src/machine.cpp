@@ -61,9 +61,10 @@ struct Machine::WindowState {
 
   /// Per (origin, target) completion floor consulted only by *ordered*
   /// puts (partitioned protocol): a later ordered put to the same target
-  /// never lands before an earlier one. Keyed origin * nranks + target;
-  /// sparse because only partitioned backends touch it.
-  std::map<std::uint64_t, Time> ordered_floor;
+  /// never lands before an earlier one. Indexed by origin, then keyed by
+  /// target: each origin owns its own map, so concurrent ordered puts
+  /// from different origins (different shards) never touch shared nodes.
+  std::vector<std::map<Rank, Time>> ordered_floor;
 
   // Active-target fence epochs (MPI_Win_fence): a per-window barrier that
   // also drains every outstanding put on the window.
@@ -205,13 +206,24 @@ Machine::Machine(sim::Simulator& simulator, net::Network network)
       dead_letter_msgs_(net_.nranks(), 0),
       dead_letter_bytes_(net_.nranks(), 0),
       failed_(net_.nranks(), 0),
-      state_probes_(net_.nranks()) {
+      state_probes_(net_.nranks()),
+      next_flow_(net_.nranks(), 0) {
   if (net_.nranks() != sim_.nranks()) {
     throw std::invalid_argument("Machine: simulator/network rank mismatch");
   }
   const int p = net_.nranks();
   if (net_.params().chaos.enabled()) {
     chaos_ = std::make_unique<chaos::Engine>(net_.params().chaos, p);
+  }
+  if (sim_.threaded()) {
+    if (chaos_) {
+      // Chaos jitter can pull a wire time below the LogGP latency floor,
+      // which breaks the conservative cross-shard lookahead bound —
+      // fault-injected runs use the sequential engine.
+      sim_.require_sequential("chaos fault injection defeats the lookahead");
+    } else {
+      sim_.limit_lookahead(net_.min_remote_delay());
+    }
   }
   comms_.reserve(p);
   mailboxes_.reserve(p);
@@ -292,9 +304,9 @@ void Machine::validate_topology() const {
 }
 
 void Machine::ensure_topology_validated() {
-  if (topology_validated_) return;
-  validate_topology();
-  topology_validated_ = true;
+  if (topology_validated_.load(std::memory_order_relaxed)) return;
+  validate_topology();  // pure: reads only, so a racing re-check is safe
+  topology_validated_.store(true, std::memory_order_relaxed);
 }
 
 int Machine::allocate_window(const std::vector<std::size_t>& bytes_per_rank) {
@@ -304,6 +316,7 @@ int Machine::allocate_window(const std::vector<std::size_t>& bytes_per_rank) {
   auto ws = std::make_unique<WindowState>();
   ws->mem.resize(nranks());
   ws->last_completion.assign(nranks(), 0);
+  ws->ordered_floor.resize(nranks());
   ws->fence_seq.assign(nranks(), 0);
   for (Rank r = 0; r < nranks(); ++r) {
     ws->mem[r].assign(bytes_per_rank[r], std::byte{0});
@@ -369,20 +382,22 @@ void Machine::isend(Rank src, Rank dst, int tag,
         "silently deadlock the run");
   }
   const prof::ScopedTimer pt(prof::Section::kP2P);
-  const auto& p = net_.params();
+  const Time o_send = net_.send_overhead(src, dst);
   auto& c = counters_[src];
   c.isends += 1;
   c.bytes_sent += data.size();
-  c.comm_ns += p.o_send;
+  c.comm_ns += o_send;
   const Time isend_start = sim_.rank_now(src);
-  sim_.charge(src, p.o_send);
+  sim_.charge(src, o_send);
   trace_op(src, "isend", isend_start);
-  const FlowId flow = ++next_flow_;
+  const FlowId flow = new_flow(src);
   if (tracer_ != nullptr) {
-    tracer_->flow_begin(flow,
-                        transport_ != nullptr ? Channel::kFt : Channel::kP2P,
-                        src, dst, tag, data.size() + kHeaderBytes,
-                        sim_.rank_now(src));
+    const Channel ch = transport_ != nullptr ? Channel::kFt : Channel::kP2P;
+    const std::size_t wire_bytes = data.size() + kHeaderBytes;
+    const Time tnow = sim_.rank_now(src);
+    with_trace([=](Tracer& t) {
+      t.flow_begin(flow, ch, src, dst, tag, wire_bytes, tnow);
+    });
   }
 
   if (transport_ != nullptr) {
@@ -399,7 +414,9 @@ void Machine::isend(Rank src, Rank dst, int tag,
   }
   matrix_.record(src, dst, data.size() + kHeaderBytes);
   if (tracer_ != nullptr) {
-    tracer_->wire(src, dst, data.size() + kHeaderBytes, sim_.rank_now(src));
+    const std::size_t wire_bytes = data.size() + kHeaderBytes;
+    const Time tnow = sim_.rank_now(src);
+    with_trace([=](Tracer& t) { t.wire(src, dst, wire_bytes, tnow); });
   }
 
   Time wire = net_.transfer_time(src, dst, data.size() + kHeaderBytes);
@@ -425,7 +442,6 @@ void Machine::isend(Rank src, Rank dst, int tag,
     floor = arrival;
   }
 
-  sent_payload_bytes_ += data.size();
   Message msg;
   msg.src = src;
   msg.dst = dst;
@@ -436,13 +452,22 @@ void Machine::isend(Rank src, Rank dst, int tag,
   msg.sent_at = sim_.rank_now(src);
   msg.arrived_at = arrival;
   msg.flow = flow;
-  inflight_sends_[src] += 1;
-  peak_inflight_sends_[src] =
-      std::max(peak_inflight_sends_[src], inflight_sends_[src]);
-  inflight_bytes_[src] += data.size();
-  sim_.schedule(arrival, [this, src, m = std::move(msg)]() mutable {
-    inflight_sends_[src] -= 1;
-    inflight_bytes_[src] -= m.data.size();
+  // Global byte/in-flight gauges are shared across ranks: the increment
+  // runs at the merge point (same global order as the sequential engine,
+  // so the recorded peaks are identical), as does the decrement below.
+  const std::size_t payload_bytes = data.size();
+  sim_.defer([this, src, payload_bytes] {
+    sent_payload_bytes_ += payload_bytes;
+    inflight_sends_[src] += 1;
+    peak_inflight_sends_[src] =
+        std::max(peak_inflight_sends_[src], inflight_sends_[src]);
+    inflight_bytes_[src] += payload_bytes;
+  });
+  sim_.schedule_for(dst, arrival, [this, src, m = std::move(msg)]() mutable {
+    sim_.defer([this, src, nbytes = m.data.size()] {
+      inflight_sends_[src] -= 1;
+      inflight_bytes_[src] -= nbytes;
+    });
     deliver(std::move(m));
   });
 }
@@ -457,7 +482,9 @@ void Machine::deliver(Message msg) {
   const prof::ScopedTimer pt(prof::Section::kP2P);
   auto& box = *mailboxes_[msg.dst];
   const Rank dst = msg.dst;
-  delivered_payload_bytes_ += msg.data.size();
+  sim_.defer([this, nbytes = msg.data.size()] {
+    delivered_payload_bytes_ += nbytes;
+  });
   if (sim_.rank_done(dst)) {
     // The recipient already returned: nothing can consume this message.
     // Track it so the finalize audit can tell unavoidable late traffic
@@ -466,8 +493,12 @@ void Machine::deliver(Message msg) {
     dead_letter_bytes_[dst] += msg.data.size();
     if (tracer_ != nullptr && msg.flow != 0) {
       // Close the flow here: nothing will ever recv it.
-      tracer_->flow_end(msg.flow, dst, msg.arrived_at);
-      tracer_->instant(dst, "dead-letter", msg.arrived_at, msg.flow);
+      const FlowId flow = msg.flow;
+      const Time at = msg.arrived_at;
+      with_trace([=](Tracer& t) {
+        t.flow_end(flow, dst, at);
+        t.instant(dst, "dead-letter", at, flow);
+      });
     }
   }
   // Try to satisfy a parked waiter first (in park order).
@@ -479,7 +510,9 @@ void Machine::deliver(Message msg) {
     if (t->peek_only) {
       // Leave the message in the mailbox for a later recv.
       if (tracer_ != nullptr && msg.flow != 0) {
-        tracer_->flow_step(msg.flow, dst, msg.arrived_at);
+        const FlowId flow = msg.flow;
+        const Time at = msg.arrived_at;
+        with_trace([=](Tracer& tr) { tr.flow_step(flow, dst, at); });
       }
       enqueue_accounting(dst, msg.data.size());
       const Time wake_at = std::max(t->parked_clock, msg.arrived_at);
@@ -487,9 +520,10 @@ void Machine::deliver(Message msg) {
       sim_.wake(t->parked, wake_at);
     } else {
       const Time wake_at = std::max(t->parked_clock, msg.arrived_at) +
-                           net_.params().o_recv;
+                           net_.recv_overhead(msg.src, dst);
       if (tracer_ != nullptr && msg.flow != 0) {
-        tracer_->flow_end(msg.flow, dst, wake_at);
+        const FlowId flow = msg.flow;
+        with_trace([=](Tracer& tr) { tr.flow_end(flow, dst, wake_at); });
       }
       t->msg = std::move(msg);
       counters_[dst].recvs += 1;
@@ -498,7 +532,9 @@ void Machine::deliver(Message msg) {
     return;
   }
   if (tracer_ != nullptr && msg.flow != 0 && !sim_.rank_done(dst)) {
-    tracer_->flow_step(msg.flow, dst, msg.arrived_at);
+    const FlowId flow = msg.flow;
+    const Time at = msg.arrived_at;
+    with_trace([=](Tracer& tr) { tr.flow_step(flow, dst, at); });
   }
   enqueue_accounting(dst, msg.data.size());
   box.push_back(std::move(msg));
@@ -530,20 +566,21 @@ bool Machine::try_recv(Rank rank, Rank src, int tag, Message& out) {
   auto& box = *mailboxes_[rank];
   for (auto it = box.begin(); it != box.end(); ++it) {
     if (!matches(*it, src, tag)) continue;
-    const auto& p = net_.params();
     // Completing a recv of a message that is still "in flight" relative to
     // this rank's (lagging) clock simply waits until its arrival.
     if (it->arrived_at > sim_.rank_now(rank)) {
       sim_.charge(rank, it->arrived_at - sim_.rank_now(rank));
     }
-    sim_.charge(rank, p.o_recv);
+    sim_.charge(rank, net_.recv_overhead(it->src, rank));
     out = std::move(*it);
     mailbox_bytes_[rank] -= out.data.size();
     mailbox_msgs_[rank] -= 1;
     box.erase(it);
     counters_[rank].recvs += 1;
     if (tracer_ != nullptr && out.flow != 0) {
-      tracer_->flow_end(out.flow, rank, sim_.rank_now(rank));
+      const FlowId flow = out.flow;
+      const Time tnow = sim_.rank_now(rank);
+      with_trace([=](Tracer& t) { t.flow_end(flow, rank, tnow); });
     }
     return true;
   }
@@ -605,19 +642,23 @@ void Machine::put_impl(int win, Rank origin, Rank target, std::size_t offset,
   c.puts += 1;
   c.bytes_put += data.size();
   c.comm_ns += p.o_put;
-  const FlowId flow = ++next_flow_;
+  const FlowId flow = new_flow(origin);
+  const std::size_t wire_bytes = data.size() + kHeaderBytes;
   // Under the reliable transport the wire record happens per copy in the
   // transport itself (ft_record_wire), exactly as on the p2p path.
   if (transport_ == nullptr) {
-    matrix_.record(origin, target, data.size() + kHeaderBytes);
+    matrix_.record(origin, target, wire_bytes);
     if (tracer_ != nullptr) {
-      tracer_->wire(origin, target, data.size() + kHeaderBytes,
-                    sim_.rank_now(origin));
+      const Time tnow = sim_.rank_now(origin);
+      with_trace([=](Tracer& t) { t.wire(origin, target, wire_bytes, tnow); });
     }
   }
   if (tracer_ != nullptr) {
-    tracer_->flow_begin(flow, Channel::kRma, origin, target, /*tag=*/-1,
-                        data.size() + kHeaderBytes, sim_.rank_now(origin));
+    const Time tnow = sim_.rank_now(origin);
+    with_trace([=](Tracer& t) {
+      t.flow_begin(flow, Channel::kRma, origin, target, /*tag=*/-1, wire_bytes,
+                   tnow);
+    });
   }
 
   Time completion;
@@ -641,26 +682,25 @@ void Machine::put_impl(int win, Rank origin, Rank target, std::size_t offset,
     // target must not land before an earlier one (MPI_Pready semantics —
     // the partition marker trails its data). Equal completion times are
     // fine: same-time events run in schedule order, which is issue order.
-    Time& floor = ws.ordered_floor[static_cast<std::uint64_t>(origin) *
-                                       static_cast<std::uint64_t>(nranks()) +
-                                   static_cast<std::uint64_t>(target)];
+    Time& floor = ws.ordered_floor[static_cast<std::size_t>(origin)][target];
     completion = std::max(completion, floor);
     floor = completion;
   }
   ws.last_completion[origin] = std::max(ws.last_completion[origin], completion);
-  puts_scheduled_ += 1;
+  sim_.defer([this] { puts_scheduled_ += 1; });
   // Pooled staging copy (the payload's only copy; the old path copied
   // into a fresh vector and the closure moved it — two allocations).
-  sim_.schedule(completion,
-                [this, &ws, target, offset, flow,
-                 payload = util::Buffer::copy_of(data)](Time at) {
-                  std::memcpy(ws.mem[target].data() + offset, payload.data(),
-                              payload.size());
-                  puts_landed_ += 1;
-                  if (tracer_ != nullptr && flow != 0) {
-                    tracer_->flow_end(flow, target, at);
-                  }
-                });
+  sim_.schedule_for(
+      target, completion,
+      [this, &ws, target, offset, flow,
+       payload = util::Buffer::copy_of(data)](Time at) {
+        std::memcpy(ws.mem[target].data() + offset, payload.data(),
+                    payload.size());
+        sim_.defer([this] { puts_landed_ += 1; });
+        if (tracer_ != nullptr && flow != 0) {
+          with_trace([=](Tracer& t) { t.flow_end(flow, target, at); });
+        }
+      });
 }
 
 Time Machine::put_completion_time(int win, Rank origin) const {
@@ -674,25 +714,31 @@ Time Machine::window_quiesce_time(int win) const {
 }
 
 void Machine::fence_arrive(int win, Rank rank, sim::Simulator::Parked parked) {
-  auto& ws = *windows_.at(win);
-  const auto& p = net_.params();
-  sim_.charge(rank, p.o_coll_base);
-  counters_[rank].fences += 1;
+  // The whole body runs at the merge point: the fence instance map and the
+  // cross-origin quiesce scan span every shard, and the arriving rank is
+  // parked — its clock cannot advance before the completion wake — so
+  // charging at the merge is byte-identical to charging inline.
+  sim_.defer([this, win, rank, parked] {
+    auto& ws = *windows_.at(win);
+    const auto& p = net_.params();
+    sim_.charge(rank, p.o_coll_base);
+    counters_[rank].fences += 1;
 
-  const std::uint64_t seq = ws.fence_seq[rank]++;
-  if (chaos_) sim_.charge(rank, chaos_->collective_skew(rank, 2, seq));
-  auto& inst = ws.fences[seq];
-  inst.arrived += 1;
-  inst.max_arrive = std::max(inst.max_arrive, sim_.rank_now(rank));
-  inst.waiters.push_back(parked);
-  if (inst.arrived == nranks()) {
-    // The epoch closes when every rank arrived and every outstanding put
-    // on the window has landed, plus a dissemination barrier.
-    const Time complete = std::max(inst.max_arrive, window_quiesce_time(win)) +
-                          net_.reduction_time();
-    for (const auto& w : inst.waiters) sim_.wake(w, complete);
-    ws.fences.erase(seq);
-  }
+    const std::uint64_t seq = ws.fence_seq[rank]++;
+    if (chaos_) sim_.charge(rank, chaos_->collective_skew(rank, 2, seq));
+    auto& inst = ws.fences[seq];
+    inst.arrived += 1;
+    inst.max_arrive = std::max(inst.max_arrive, sim_.rank_now(rank));
+    inst.waiters.push_back(parked);
+    if (inst.arrived == nranks()) {
+      // The epoch closes when every rank arrived and every outstanding put
+      // on the window has landed, plus a dissemination barrier.
+      const Time complete = std::max(inst.max_arrive, window_quiesce_time(win)) +
+                            net_.reduction_time();
+      for (const auto& w : inst.waiters) sim_.wake(w, complete);
+      ws.fences.erase(seq);
+    }
+  });
 }
 
 std::span<std::byte> Machine::window_memory(int win, Rank rank) {
@@ -749,6 +795,9 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
           "RunConfig::ft.enabled) before the first collective";
     throw std::logic_error(os.str());
   }
+  if (st.pending[rank].active) {
+    throw std::logic_error("rank already in neighbor collective");
+  }
   const Time entry = persistent_start
                          ? net_.params().o_coll_persistent_start
                          : net_.collective_entry(static_cast<int>(topo.size()));
@@ -766,15 +815,18 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
     if (transport_ == nullptr) {
       matrix_.record(rank, topo[i], slices[i].size() + kHeaderBytes);
     }
-    slice_flows[i] = ++next_flow_;
+    slice_flows[i] = new_flow(rank);
     if (tracer_ != nullptr) {
-      if (transport_ == nullptr) {
-        tracer_->wire(rank, topo[i], slices[i].size() + kHeaderBytes,
-                      sim_.rank_now(rank));
-      }
-      tracer_->flow_begin(slice_flows[i], Channel::kNeighbor, rank, topo[i],
-                          /*tag=*/-1, slices[i].size() + kHeaderBytes,
-                          sim_.rank_now(rank));
+      const Rank peer = topo[i];
+      const std::size_t wire_bytes = slices[i].size() + kHeaderBytes;
+      const FlowId f = slice_flows[i];
+      const Time tnow = sim_.rank_now(rank);
+      const bool wire_here = transport_ == nullptr;
+      with_trace([=](Tracer& t) {
+        if (wire_here) t.wire(rank, peer, wire_bytes, tnow);
+        t.flow_begin(f, Channel::kNeighbor, rank, peer, /*tag=*/-1, wire_bytes,
+                     tnow);
+      });
     }
   }
   // Staging copy into the collective's send buffer.
@@ -800,33 +852,56 @@ void Machine::neighbor_begin(Rank rank, std::vector<util::Buffer> slices,
               .deliver_at;
     }
   }
-  st.calls[rank].emplace(
-      seq, NeighborState::Call{arrive, std::move(slices),
-                               static_cast<int>(topo.size()),
-                               std::move(slice_flows),
-                               std::move(slice_deliver)});
 
+  // The rank-owned half of the pending record is set inline so this rank's
+  // own neighbor_wait — possibly later in the same window — sees an active
+  // op. The shared half (the calls map and the neighbors' pending records)
+  // runs at the merge point, in exact sequential order.
   auto& pend = st.pending[rank];
-  if (pend.active) throw std::logic_error("rank already in neighbor collective");
-  int waiting = 0;
-  for (Rank n : topo) {
-    if (st.calls[n].find(seq) == st.calls[n].end()) ++waiting;
-  }
   pend = NeighborState::Pending{};
   pend.seq = seq;
   pend.arrive = arrive;
   pend.recv_out = recv_out;
-  pend.waiting_on = waiting;
   pend.active = true;
 
-  if (waiting == 0) complete_neighbor_op(rank, seq);
-  // This arrival may unblock neighbors stuck at the same sequence number.
-  for (Rank n : topo) {
-    auto& np = st.pending[n];
-    if (np.active && !np.done && np.seq == seq && np.waiting_on > 0) {
-      if (--np.waiting_on == 0) complete_neighbor_op(n, seq);
-    }
+  if (topo.empty()) {
+    // Rank-local completion: no other shard ever touches this rank's call
+    // record, and the completion wake must stay in this window (it lands
+    // at `arrive`), so the whole thing runs inline.
+    st.calls[rank].emplace(
+        seq, NeighborState::Call{arrive, std::move(slices), 0,
+                                 std::move(slice_flows),
+                                 std::move(slice_deliver)});
+    pend.waiting_on = 0;
+    complete_neighbor_op(rank, seq);
+    return;
   }
+
+  sim_.defer([this, rank, seq, arrive, slices = std::move(slices),
+              slice_flows = std::move(slice_flows),
+              slice_deliver = std::move(slice_deliver)]() mutable {
+    auto& st = *neighbor_;
+    const auto& topo = topology_[rank];
+    st.calls[rank].emplace(
+        seq, NeighborState::Call{arrive, std::move(slices),
+                                 static_cast<int>(topo.size()),
+                                 std::move(slice_flows),
+                                 std::move(slice_deliver)});
+    auto& pend = st.pending[rank];
+    int waiting = 0;
+    for (Rank n : topo) {
+      if (st.calls[n].find(seq) == st.calls[n].end()) ++waiting;
+    }
+    pend.waiting_on = waiting;
+    if (waiting == 0) complete_neighbor_op(rank, seq);
+    // This arrival may unblock neighbors stuck at the same sequence number.
+    for (Rank n : topo) {
+      auto& np = st.pending[n];
+      if (np.active && !np.done && np.seq == seq && np.waiting_on > 0) {
+        if (--np.waiting_on == 0) complete_neighbor_op(n, seq);
+      }
+    }
+  });
 }
 
 bool Machine::neighbor_wait(Rank rank, sim::Simulator::Parked parked) {
@@ -843,6 +918,26 @@ bool Machine::neighbor_wait(Rank rank, sim::Simulator::Parked parked) {
     pend.active = false;
     sim_.wake(parked, std::max(sim_.rank_now(rank), pend.complete_at));
     return true;
+  }
+  if (sim_.in_window_phase()) {
+    // The completion may be sitting in this window's deferred actions (a
+    // neighbor's begin earlier in the window, whose shared half has not
+    // merged yet). Re-check at the merge point, where global order is
+    // restored: if the op completed there, this wake is byte-identical to
+    // the sequential done-branch above; otherwise the waiter is recorded
+    // exactly where the sequential engine would have recorded it.
+    const Time now = sim_.rank_now(rank);
+    sim_.defer([this, rank, parked, now] {
+      auto& pend = neighbor_->pending[rank];
+      if (pend.done) {
+        pend.active = false;
+        sim_.wake(parked, std::max(now, pend.complete_at));
+        return;
+      }
+      pend.parked = parked;
+      pend.has_waiter = true;
+    });
+    return false;
   }
   pend.parked = parked;
   pend.has_waiter = true;
@@ -905,14 +1000,16 @@ void Machine::complete_neighbor_op(Rank rank, std::uint64_t seq) {
 
   const Time complete = ready + wire + net_.copy_time(recv_bytes);
   if (tracer_ != nullptr) {
-    for (const FlowId f : consumed_flows) {
-      if (f != 0) tracer_->flow_end(f, rank, complete);
-    }
+    with_trace([rank, complete, flows = std::move(consumed_flows)](Tracer& t) {
+      for (const FlowId f : flows) {
+        if (f != 0) t.flow_end(f, rank, complete);
+      }
+    });
   }
   auto* out = pend.recv_out;
   pend.done = true;
   pend.complete_at = complete;
-  sim_.schedule(complete, [out, d = std::move(data)]() mutable {
+  sim_.schedule_for(rank, complete, [out, d = std::move(data)]() mutable {
     *out = std::move(d);
   });
   if (pend.has_waiter) {
@@ -929,56 +1026,65 @@ void Machine::global_arrive(Rank rank, std::vector<std::int64_t> contribution,
                             ReduceOp op, std::vector<std::int64_t>* result_out,
                             sim::Simulator::Parked parked) {
   const prof::ScopedTimer pt(prof::Section::kGlobalColl);
-  auto& st = *global_;
-  const auto& p = net_.params();
-  sim_.charge(rank, p.o_coll_base);
-  if (chaos_) {
-    sim_.charge(rank, chaos_->collective_skew(rank, 1, st.next_seq[rank]));
-  }
-  auto& c = counters_[rank];
-  if (result_out != nullptr) {
-    c.allreduces += 1;
-  } else {
-    c.barriers += 1;
-  }
-
-  const std::uint64_t seq = st.next_seq[rank]++;
-  auto& inst = st.insts[seq];
-  if (!inst.op_set) {
-    inst.op = op;
-    inst.op_set = true;
-  } else if (inst.op != op) {
-    throw std::logic_error("allreduce: mismatched ReduceOp across ranks");
-  }
-  if (inst.acc.size() < contribution.size()) {
-    const std::int64_t identity =
-        op == ReduceOp::kSum ? 0
-        : op == ReduceOp::kMax ? std::numeric_limits<std::int64_t>::min()
-                               : std::numeric_limits<std::int64_t>::max();
-    inst.acc.resize(contribution.size(), identity);
-  }
-  for (std::size_t i = 0; i < contribution.size(); ++i) {
-    switch (op) {
-      case ReduceOp::kSum: inst.acc[i] += contribution[i]; break;
-      case ReduceOp::kMax: inst.acc[i] = std::max(inst.acc[i], contribution[i]); break;
-      case ReduceOp::kMin: inst.acc[i] = std::min(inst.acc[i], contribution[i]); break;
+  // Whole body deferred to the merge point: the instance map (accumulator,
+  // arrival count, waiter list) spans every shard, and the arriving rank
+  // parks here — its clock is frozen until the completion wake, which
+  // lands at least one reduction_time (>= the lookahead) later, so
+  // charging and sequence assignment at the merge are byte-identical.
+  sim_.defer([this, rank, op, result_out, parked,
+              contribution = std::move(contribution)] {
+    auto& st = *global_;
+    const auto& p = net_.params();
+    sim_.charge(rank, p.o_coll_base);
+    if (chaos_) {
+      sim_.charge(rank, chaos_->collective_skew(rank, 1, st.next_seq[rank]));
     }
-  }
-  inst.max_arrive = std::max(inst.max_arrive, sim_.rank_now(rank));
-  inst.waiters.push_back({rank, result_out, parked});
-  inst.arrived += 1;
+    auto& c = counters_[rank];
+    if (result_out != nullptr) {
+      c.allreduces += 1;
+    } else {
+      c.barriers += 1;
+    }
 
-  if (inst.arrived == nranks()) {
-    const Time complete = inst.max_arrive + net_.reduction_time();
-    auto acc = std::make_shared<std::vector<std::int64_t>>(std::move(inst.acc));
-    for (const auto& w : inst.waiters) {
-      if (w.out != nullptr) {
-        sim_.schedule(complete, [out = w.out, acc] { *out = *acc; });
+    const std::uint64_t seq = st.next_seq[rank]++;
+    auto& inst = st.insts[seq];
+    if (!inst.op_set) {
+      inst.op = op;
+      inst.op_set = true;
+    } else if (inst.op != op) {
+      throw std::logic_error("allreduce: mismatched ReduceOp across ranks");
+    }
+    if (inst.acc.size() < contribution.size()) {
+      const std::int64_t identity =
+          op == ReduceOp::kSum ? 0
+          : op == ReduceOp::kMax ? std::numeric_limits<std::int64_t>::min()
+                                 : std::numeric_limits<std::int64_t>::max();
+      inst.acc.resize(contribution.size(), identity);
+    }
+    for (std::size_t i = 0; i < contribution.size(); ++i) {
+      switch (op) {
+        case ReduceOp::kSum: inst.acc[i] += contribution[i]; break;
+        case ReduceOp::kMax: inst.acc[i] = std::max(inst.acc[i], contribution[i]); break;
+        case ReduceOp::kMin: inst.acc[i] = std::min(inst.acc[i], contribution[i]); break;
       }
-      sim_.wake(w.parked, complete);
     }
-    st.insts.erase(seq);
-  }
+    inst.max_arrive = std::max(inst.max_arrive, sim_.rank_now(rank));
+    inst.waiters.push_back({rank, result_out, parked});
+    inst.arrived += 1;
+
+    if (inst.arrived == nranks()) {
+      const Time complete = inst.max_arrive + net_.reduction_time();
+      auto acc =
+          std::make_shared<std::vector<std::int64_t>>(std::move(inst.acc));
+      for (const auto& w : inst.waiters) {
+        if (w.out != nullptr) {
+          sim_.schedule_for(w.rank, complete, [out = w.out, acc] { *out = *acc; });
+        }
+        sim_.wake(w.parked, complete);
+      }
+      st.insts.erase(seq);
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -1003,6 +1109,9 @@ void Machine::enable_ft(const ft::Params& params) {
   if (sent_payload_bytes_ != 0) {
     throw std::logic_error("enable_ft: must be called before the first isend");
   }
+  // Ack/retransmit timing has no lookahead floor (an ack can race a
+  // delivery inside one latency), so fault-tolerant runs are sequential.
+  sim_.require_sequential("reliable transport");
   transport_ =
       std::make_unique<ft::Transport>(*this, sim_, net_, chaos_.get(), params);
 }
@@ -1141,6 +1250,12 @@ void Machine::enable_sampling(Time interval_ns) {
 void Machine::agree_arrive(Rank rank, std::vector<std::int64_t>* result_out,
                            sim::Simulator::Parked parked) {
   const prof::ScopedTimer pt(prof::Section::kGlobalColl);
+  if (sim_.threaded()) {
+    // Unreachable in practice — agreement only runs under the reliable
+    // transport, which forces the sequential engine — but guard anyway.
+    throw std::logic_error(
+        "agree_arrive: failure agreement requires the sequential engine");
+  }
   auto& st = *agree_;
   sim_.charge(rank, net_.params().o_coll_base);
   counters_[rank].agrees += 1;

@@ -45,6 +45,15 @@ struct Params {
   Time o_iprobe = 150;  // MPI_Iprobe poll
   Time o_ack = 120;     // transport-level ack post (mel::ft; NIC-side work)
 
+  /// Intra-node variants of the two-sided overheads, used when sender and
+  /// receiver share a node (shared-memory transport: no NIC descriptor,
+  /// cheaper matching). Default equal to the inter-node values so pinned
+  /// traces are unchanged until a run opts in (melsim
+  /// --intra-node-params) — the lever for NSR-HIER's leader hop, which
+  /// funnels all intra-node traffic through one rank.
+  Time o_send_intra = 400;
+  Time o_recv_intra = 350;
+
   /// User-side per-message handling in the unaggregated Send-Recv path
   /// (tag decode, one-at-a-time dispatch). Charged as *compute*: this is
   /// what makes the paper's NSR runs compute-heavy in CrayPat profiles
@@ -109,6 +118,17 @@ class Network {
   /// alpha_intra + bytes * beta_intra — no undocumented discount.
   Time transfer_time(Rank src, Rank dst, std::size_t bytes) const;
 
+  /// Per-call sender/receiver software overhead for a two-sided transfer
+  /// from src to dst: the intra-node variant when the pair shares a node,
+  /// the standard (inter-node) one otherwise. Identical to o_send / o_recv
+  /// under default parameters.
+  Time send_overhead(Rank src, Rank dst) const {
+    return same_node(src, dst) ? params_.o_send_intra : params_.o_send;
+  }
+  Time recv_overhead(Rank src, Rank dst) const {
+    return same_node(src, dst) ? params_.o_recv_intra : params_.o_recv;
+  }
+
   /// Cost of entering a collective with `neighbors` peers.
   Time collective_entry(int neighbors) const;
 
@@ -117,6 +137,15 @@ class Network {
 
   /// Staging-copy cost of `bytes` through a local buffer.
   Time copy_time(std::size_t bytes) const;
+
+  /// Conservative lower bound on the delay between an event on one rank
+  /// and the earliest event it can cause on a *different* rank: the
+  /// minimum of the point-to-point latencies and the global-collective
+  /// completion time. The sharded simulator's lookahead window — any
+  /// cross-rank schedule lands at least this far in the future, because
+  /// every cross-rank path (delivery, put landing, collective completion,
+  /// wire-level ack) pays at least one alpha or one reduction.
+  Time min_remote_delay() const;
 
  private:
   int nranks_;

@@ -35,10 +35,12 @@ Recorder::Flow* Recorder::find_flow(FlowId id) {
 
 void Recorder::flow_begin(FlowId flow, Channel channel, Rank src, Rank dst,
                           int tag, std::size_t bytes, Time t) {
-  // Flow ids are assigned sequentially from 1 by the machine; a recorder
-  // installed mid-run sees its first begin at an id > flows_.size() + 1,
-  // so pad with dead slots to keep the id -> index mapping trivial.
-  while (flows_.size() + 1 < flow) flows_.push_back(Flow{});
+  // The machine assigns each rank its own arithmetic progression of ids
+  // (counter * nranks + rank + 1), so ids are dense overall but begins do
+  // not arrive in id order; size to the slot and pad the gaps with dead
+  // entries to keep the id -> index mapping trivial.
+  if (flow == 0) return;
+  if (flow > flows_.size()) flows_.resize(flow);
   Flow f;
   f.id = flow;
   f.channel = channel;
@@ -47,11 +49,7 @@ void Recorder::flow_begin(FlowId flow, Channel channel, Rank src, Rank dst,
   f.tag = tag;
   f.bytes = bytes;
   f.begin_t = t;
-  if (flow == flows_.size() + 1) {
-    flows_.push_back(f);
-  } else if (Flow* existing = find_flow(flow)) {
-    *existing = f;  // should not happen (ids are never reused)
-  }
+  flows_[flow - 1] = f;
 }
 
 void Recorder::flow_step(FlowId flow, Rank rank, Time t) {

@@ -14,6 +14,7 @@
 // inclusive times; event-loop self time = kEventLoop minus the others.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -52,8 +53,9 @@ std::string report_json();
 namespace detail {
 // mellint: allow(global-cache) — host-profiler master switch, flipped once
 // by melsim before the run and read-only after; never influences simulated
-// state. Becomes atomic<bool> with the threaded DES.
-inline bool g_enabled = false;
+// state. Atomic so the sharded engine's worker threads can read it without
+// a race (relaxed: a stale read merely misses one sample).
+inline std::atomic<bool> g_enabled{false};
 void record(Section s, std::uint64_t ns);
 std::uint64_t now_ns();
 }  // namespace detail
@@ -62,7 +64,8 @@ std::uint64_t now_ns();
 class ScopedTimer {
  public:
   explicit ScopedTimer(Section s) noexcept
-      : armed_(detail::g_enabled), section_(s) {
+      : armed_(detail::g_enabled.load(std::memory_order_relaxed)),
+        section_(s) {
     if (armed_) start_ = detail::now_ns();
   }
   ~ScopedTimer() {

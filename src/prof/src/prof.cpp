@@ -1,15 +1,26 @@
 #include "mel/prof/prof.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <sstream>
 
 namespace mel::prof {
 
 namespace {
+struct AtomicStats {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> ns{0};
+};
 // mellint: allow(global-cache) — host wall-time accumulators for the
-// self-profiler; they measure the simulator, never feed it. Must become
-// per-thread (merged at report time) before the threaded DES lands.
-Stats g_stats[kSectionCount];
+// self-profiler; they measure the simulator, never feed it. Relaxed
+// atomics so concurrent shard workers can record without tearing; the
+// counts are aggregates, no cross-field consistency is needed.
+AtomicStats g_stats[kSectionCount];
+
+Stats snapshot(int i) {
+  return Stats{g_stats[i].calls.load(std::memory_order_relaxed),
+               g_stats[i].ns.load(std::memory_order_relaxed)};
+}
 }  // namespace
 
 const char* section_name(Section s) {
@@ -28,16 +39,19 @@ void set_enabled(bool on) { detail::g_enabled = on; }
 bool enabled() { return detail::g_enabled; }
 
 void reset() {
-  for (auto& s : g_stats) s = Stats{};
+  for (auto& s : g_stats) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.ns.store(0, std::memory_order_relaxed);
+  }
 }
 
-Stats section_stats(Section s) { return g_stats[static_cast<int>(s)]; }
+Stats section_stats(Section s) { return snapshot(static_cast<int>(s)); }
 
 std::string report() {
   std::ostringstream os;
   os << "host profile (inclusive; subsystems nest inside event_loop):\n";
   for (int i = 0; i < kSectionCount; ++i) {
-    const Stats& st = g_stats[i];
+    const Stats st = snapshot(i);
     if (st.calls == 0) continue;
     const double ms = static_cast<double>(st.ns) / 1e6;
     const double per_call =
@@ -58,7 +72,7 @@ std::string report_json() {
   os << "{\"host_profile\": {";
   bool first = true;
   for (int i = 0; i < kSectionCount; ++i) {
-    const Stats& st = g_stats[i];
+    const Stats st = snapshot(i);
     if (!first) os << ", ";
     first = false;
     os << '"' << section_name(static_cast<Section>(i)) << "\": {\"calls\": "
@@ -71,9 +85,9 @@ std::string report_json() {
 namespace detail {
 
 void record(Section s, std::uint64_t ns) {
-  Stats& st = g_stats[static_cast<int>(s)];
-  ++st.calls;
-  st.ns += ns;
+  AtomicStats& st = g_stats[static_cast<int>(s)];
+  st.calls.fetch_add(1, std::memory_order_relaxed);
+  st.ns.fetch_add(ns, std::memory_order_relaxed);
 }
 
 std::uint64_t now_ns() {

@@ -12,11 +12,32 @@
 // report instead of spinning forever. Subsystems that park coroutines (the
 // MPI Machine) can install a stall reporter to enrich the report with the
 // parked operation's identity (op kind, mailbox depth, sequence numbers).
+//
+// Sharded (multi-threaded) mode — set_threads(T) with T > 1:
+//
+// Ranks are block-partitioned into min(T, nranks) shards, each with its
+// own EventQueue, advanced by one worker thread per shard in bounded
+// windows [W, W + lookahead). The lookahead is the minimum cross-shard
+// scheduling delay (for the MPI machine: the minimum LogGP network
+// latency, see net::Network::min_remote_delay), so no event executed
+// inside a window can schedule into another shard's past. Within a
+// window a shard executes only its own ranks' events; every side effect
+// that crosses shards — a delivery into another rank's mailbox, shared
+// collective bookkeeping, trace emission — is recorded in a per-event
+// action log and replayed single-threaded at the window barrier, merged
+// across shards in exactly the global (time, sequence) order the
+// sequential engine uses. Sequence numbers are assigned during that
+// merge in global call order, so trace_hash(), events_executed() and
+// every rank-visible timestamp are bit-identical to the sequential
+// engine at any thread count. Periodic hooks, the horizon watchdog and
+// deadlock detection all fire at window barriers, which the window
+// bounds align with the exact sequential boundaries.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -53,6 +74,8 @@ class RankFailure : public std::runtime_error {
 class Simulator {
  public:
   explicit Simulator(int nranks);
+  // Out of line: the engine control block is an incomplete type here.
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -91,10 +114,87 @@ class Simulator {
   /// time as a parameter (`void(Time)`) or nothing; it must fit the
   /// EventFn small buffer to stay off the heap (larger closures still
   /// work, they just allocate).
+  ///
+  /// In sharded mode an event scheduled through this overload has no
+  /// destination-rank hint: before run() it lands on shard 0, inside a
+  /// window it stays on the scheduling shard. Subsystems that know which
+  /// rank an event belongs to must use schedule_for so the event executes
+  /// on (and only touches state owned by) that rank's shard.
   template <class F>
   void schedule(Time t, F&& fn) {
-    queue_.push(t, std::forward<F>(fn));
+    if (!sharded_) {
+      queue_.push(t, std::forward<F>(fn));
+      return;
+    }
+    sharded_schedule(-1, t, EventFn(std::forward<F>(fn)));
   }
+
+  /// Schedule an event that logically belongs to `rank` (a delivery into
+  /// its mailbox, a wake of its coroutine, a completion writing its
+  /// output). Identical to schedule() in sequential mode; in sharded mode
+  /// it routes the event to the owning shard's queue — directly when the
+  /// scheduling shard owns the rank and the time falls inside the current
+  /// window, via the merge-ordered action log otherwise.
+  template <class F>
+  void schedule_for(Rank rank, Time t, F&& fn) {
+    if (!sharded_) {
+      queue_.push(t, std::forward<F>(fn));
+      return;
+    }
+    sharded_schedule(rank, t, EventFn(std::forward<F>(fn)));
+  }
+
+  /// Run `fn` at the point in the global (time, sequence) event order
+  /// corresponding to the current call site. Sequential mode runs it
+  /// inline, immediately. Inside a sharded window the call is recorded in
+  /// the executing event's action log and replayed at the window barrier,
+  /// single-threaded, in exact merged event order — the mechanism the MPI
+  /// machine uses for state shared across shards (collective instance
+  /// maps, global gauges, trace emission). Deferred bodies may call
+  /// schedule_for/wake/charge/defer themselves. The template avoids the
+  /// type-erasure allocation entirely on the sequential path, where the
+  /// body runs before this call returns.
+  template <typename F>
+  void defer(F&& fn) {
+    if (sharded_ && in_window_phase()) {
+      defer_window(std::function<void()>(std::forward<F>(fn)));
+      return;
+    }
+    // Sequential mode, merge phase, or pre-run: the call site is already
+    // at its globally ordered position — run inline.
+    fn();
+  }
+
+  // -- Sharded engine -------------------------------------------------------
+
+  /// Select the engine: 1 (default) = sequential, > 1 = sharded across
+  /// min(threads, nranks) worker threads. Must be called before anything
+  /// is spawned or scheduled. Sharded runs additionally need a positive
+  /// lookahead (limit_lookahead), normally installed by the MPI machine
+  /// from the network model's minimum cross-shard latency.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
+
+  /// Lower (or set, if unset) the conservative lookahead window bound, in
+  /// virtual ns. Every cross-shard schedule must land at least this far
+  /// after the event that issues it.
+  void limit_lookahead(Time d);
+  Time lookahead() const { return lookahead_; }
+
+  /// Fall back to the sequential engine (e.g. a subsystem whose timing
+  /// model cannot provide a lookahead bound — chaos jitter, the
+  /// fault-tolerant transport). Only valid before run(); already-staged
+  /// events keep their sequence numbers, so the run is bit-identical to
+  /// one configured sequential from the start.
+  void require_sequential(const char* why);
+
+  /// True when the sharded engine is selected (threads > 1 over > 1 rank).
+  bool threaded() const { return sharded_; }
+
+  /// True while the calling thread is executing a shard's window for this
+  /// simulator — the phase in which shared state must not be touched and
+  /// tracer calls must be deferred.
+  bool in_window_phase() const;
 
   /// Park the currently running rank coroutine; some subsystem holding the
   /// returned token will later call wake(). Called from awaiter
@@ -154,7 +254,9 @@ class Simulator {
   int add_periodic_hook(Time interval, PeriodicHook hook);
 
   /// Events currently queued (diagnostic gauge for telemetry sampling).
-  std::size_t pending_events() const { return queue_.size(); }
+  /// In sharded mode: the sum over shard queues — sampled at window
+  /// barriers this equals the sequential engine's queue size exactly.
+  std::size_t pending_events() const;
 
   /// Sum of final local clocks; the simulated "job time" is the max.
   Time max_rank_time() const;
@@ -204,6 +306,34 @@ class Simulator {
   /// time, ties by id).
   void fire_hooks(Time t);
 
+  // -- Sharded engine internals (simulator.cpp) -----------------------------
+
+  struct Shard;   // per-shard queue + window execution / action records
+  struct Engine;  // worker threads, window control block, merge state
+
+  /// Pre-run event staged under its final (already assigned) sequence
+  /// number, waiting to be distributed to the owning shard at run start.
+  struct Staged {
+    Rank rank;
+    Time t;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  int shard_of(Rank rank) const;
+  void sharded_schedule(Rank rank, Time t, EventFn fn);
+  /// Slow path of defer(): append to the executing window's action log.
+  void defer_window(std::function<void()> fn);
+  void run_sequential();
+  void run_sharded();
+  void run_window(Shard& shard);
+  void merge_window();
+  /// Merge the finished window (unless `first`), distribute cross-shard
+  /// pushes, fire due hooks, and publish the next window's bound into the
+  /// control block — or mark the run done / failed.
+  void prepare_window(bool first);
+  void throw_if_stuck();
+
   std::vector<RankState> ranks_;
   std::exception_ptr error_;
   EventQueue queue_;
@@ -215,6 +345,22 @@ class Simulator {
   int crashed_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t trace_hash_ = 0x9e3779b97f4a7c15ULL;
+
+  /// Shard context of the window the calling thread is executing, if any.
+  /// Routing state only — it never feeds virtual-time decisions, and it is
+  /// null outside the data-parallel window phase.
+  // mellint: allow(mutable-static) — thread-local routing context for the
+  // sharded window phase; set/cleared around run_window on each worker,
+  // never consulted across threads, no effect on virtual-time behaviour.
+  static thread_local Shard* tls_window_;
+
+  int threads_ = 1;
+  bool sharded_ = false;  // threads_ > 1 over > 1 rank, not downgraded
+  Time lookahead_ = 0;
+  std::uint64_t global_seq_ = 0;  // sharded mode's sequence counter
+  std::vector<Staged> staged_;
+  std::unique_ptr<Engine> engine_;        // live during run_sharded only
+  std::exception_ptr pending_throw_;      // watchdog / rank error to rethrow
 };
 
 inline void RankTask::promise_type::FinalAwaiter::await_suspend(

@@ -1,9 +1,13 @@
 #include "mel/sim/simulator.hpp"
 
 #include <algorithm>
+#include <barrier>
+#include <cassert>
 #include <sstream>
+#include <thread>
 
 #include "mel/prof/prof.hpp"
+#include "mel/util/buffer.hpp"
 #include "mel/util/log.hpp"
 #include "mel/util/rng.hpp"
 
@@ -14,9 +18,101 @@ std::size_t checked_nranks(int nranks) {
   if (nranks <= 0) throw std::invalid_argument("Simulator: nranks must be > 0");
   return static_cast<std::size_t>(nranks);
 }
+
+/// Intra-window pushes carry provisional sequence numbers from this base —
+/// above any real sequence, so at equal time they order after every event
+/// queued before the window, exactly where the sequential engine's counter
+/// would have placed them. They are resolved to final sequences at merge.
+constexpr std::uint64_t kProvBase = 1ULL << 63;
 }  // namespace
 
+// -- Sharded engine data structures ------------------------------------------
+
+/// One shard: the event queue for a contiguous block of ranks, plus the
+/// window-execution record its worker thread builds. Everything in here is
+/// owned by the shard's thread during a window and by the main (merging)
+/// thread between the window barriers.
+struct Simulator::Shard {
+  /// One side effect recorded while executing a window, replayed at merge
+  /// in global (time, sequence) order:
+  ///   kLocalProv — a push into this shard's own queue inside the window,
+  ///       already enqueued under a provisional sequence; merge assigns
+  ///       the final sequence so the trace hash sees the real one.
+  ///   kPush — a push for another shard (or beyond this window); the
+  ///       closure waits here, gets its final sequence at merge, and is
+  ///       distributed into the destination queue before the next window.
+  ///   kDefer — a globally-ordered callback (shared MPI-machine state,
+  ///       trace emission), run single-threaded at merge.
+  struct Action {
+    enum class Kind : std::uint8_t { kLocalProv, kPush, kDefer };
+    Kind kind;
+    Rank rank = -1;                  // kPush: destination rank
+    Time t = 0;                      // kPush: event time
+    std::uint64_t prov = 0;          // kLocalProv: provisional sequence
+    EventFn fn;                      // kPush: payload
+    std::function<void()> deferred;  // kDefer: payload
+  };
+
+  /// One executed event: its queue key plus its slice of the action log.
+  struct Exec {
+    Time t;
+    std::uint64_t key;  // final sequence, or provisional (>= kProvBase)
+    std::uint32_t actions_begin;
+    std::uint32_t actions_end;
+  };
+
+  EventQueue queue;
+  std::vector<Action> actions;
+  std::vector<Exec> execs;
+  /// provisional -> final sequence map for the window being merged,
+  /// indexed by (prov - kProvBase); filled in shard-stream order.
+  std::vector<std::uint64_t> prov_final;
+  std::uint64_t prov_next = 0;  // provisionals handed out this window
+  int id = 0;
+  Rank first_rank = 0;  // any rank this shard owns (schedule() fallback)
+  Time w_end = 0;       // exclusive bound of the window being executed
+  std::exception_ptr failure;
+  Simulator* sim = nullptr;
+};
+
+/// Shared control block of one sharded run. The main thread writes it
+/// strictly between the window barriers; workers read it strictly after
+/// the start barrier — the barriers are the synchronization.
+struct Simulator::Engine {
+  std::vector<std::unique_ptr<Shard>> shards;
+  int nshards = 1;
+  int ranks_per_shard = 1;
+  Time w_end = 0;
+  bool done = false;
+  bool merging = false;  // main thread inside merge/prepare (single-threaded)
+
+  /// Cross-shard events with their final sequences, collected during
+  /// merge and pushed into destination queues before the next window.
+  struct Incoming {
+    Rank rank;
+    Time t;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  std::vector<Incoming> incoming;
+
+  /// Shards 1..nshards-1 (the main thread drives shard 0). Joined before
+  /// the engine is destroyed.
+  // mellint: allow(mutable-static) — the worker pool itself; every other
+  // member of this block is written by the main thread strictly between
+  // the end and start barriers and only read by these workers between
+  // start and end, so the barrier rendezvous is the synchronization.
+  std::vector<std::thread> workers;
+};
+
+// mellint: allow(mutable-static) — routing context only (see the
+// declaration): set/cleared around each worker's run_window, never read
+// across threads, and it never feeds a virtual-time decision.
+thread_local Simulator::Shard* Simulator::tls_window_ = nullptr;
+
 Simulator::Simulator(int nranks) : ranks_(checked_nranks(nranks)) {}
+
+Simulator::~Simulator() = default;
 
 void Simulator::spawn(Rank rank, RankTask task) {
   if (rank < 0 || rank >= nranks()) {
@@ -30,8 +126,8 @@ void Simulator::spawn(Rank rank, RankTask task) {
   promise.sim = this;
   promise.rank = rank;
   state.task = std::move(task);
-  // Kick the coroutine off at virtual time 0.
-  schedule(0, [this, rank] {
+  // Kick the coroutine off at virtual time 0, on the rank's own shard.
+  schedule_for(rank, 0, [this, rank] {
     auto& st = ranks_[rank];
     if (st.crashed) return;
     st.started = true;
@@ -46,7 +142,7 @@ void Simulator::wake(const Parked& parked, Time t) {
   // The wake time reaches the closure as the event's own timestamp — no
   // second capture of t, and the closure stays within EventFn's inline
   // buffer.
-  schedule(t, [this, parked](Time at) {
+  schedule_for(parked.rank, t, [this, parked](Time at) {
     auto& st = ranks_[parked.rank];
     // A killed rank is never resumed: its coroutine stays frozen at the
     // suspension point forever (fail-stop), frame destroyed at shutdown.
@@ -113,17 +209,140 @@ void Simulator::fire_hooks(Time t) {
 }
 
 void Simulator::note_rank_error(Rank rank) {
-  if (error_) return;
   const auto& task = ranks_[rank].task;
-  if (task.valid() && task.handle().promise().error) {
-    error_ = task.handle().promise().error;
+  if (!task.valid() || !task.handle().promise().error) return;
+  Shard* ctx = tls_window_;
+  if (ctx != nullptr && ctx->sim == this) {
+    // Shard-local capture: error_ is shared, and in a failing window the
+    // merge is skipped anyway. The first failure (by shard id) wins.
+    if (!ctx->failure) ctx->failure = task.handle().promise().error;
+    return;
   }
+  if (!error_) error_ = task.handle().promise().error;
 }
+
+// -- Sharded mode configuration ----------------------------------------------
+
+void Simulator::set_threads(int threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("Simulator::set_threads: threads must be >= 1");
+  }
+  if (engine_ != nullptr) {
+    throw std::logic_error("Simulator::set_threads: run() is active");
+  }
+  if (queue_.seqs_issued() > 0 || global_seq_ > 0 || !staged_.empty()) {
+    throw std::logic_error(
+        "Simulator::set_threads: must be called before anything is "
+        "spawned or scheduled");
+  }
+  threads_ = threads;
+  sharded_ = threads_ > 1 && nranks() > 1;
+}
+
+void Simulator::limit_lookahead(Time d) {
+  if (d <= 0) {
+    throw std::invalid_argument(
+        "Simulator::limit_lookahead: need a positive delay");
+  }
+  lookahead_ = lookahead_ > 0 ? std::min(lookahead_, d) : d;
+}
+
+void Simulator::require_sequential(const char* why) {
+  if (!sharded_) return;
+  if (engine_ != nullptr) {
+    throw std::logic_error(
+        "Simulator::require_sequential: cannot downgrade mid-run");
+  }
+  MEL_WARN << "sharded engine disabled (" << why << "): running sequential";
+  // Flush staged events into the sequential queue under their already
+  // assigned sequences; the sequential counter continues after them, so
+  // the run is bit-identical to one configured with threads=1.
+  for (auto& st : staged_) queue_.push_keyed(st.t, st.seq, std::move(st.fn));
+  staged_.clear();
+  queue_.reserve_seqs(global_seq_);
+  sharded_ = false;
+  threads_ = 1;
+}
+
+bool Simulator::in_window_phase() const {
+  const Shard* ctx = tls_window_;
+  return ctx != nullptr && ctx->sim == this;
+}
+
+int Simulator::shard_of(Rank rank) const {
+  return rank / engine_->ranks_per_shard;
+}
+
+std::size_t Simulator::pending_events() const {
+  if (engine_ == nullptr) return queue_.size();
+  std::size_t n = 0;
+  for (const auto& s : engine_->shards) n += s->queue.size();
+  return n;
+}
+
+void Simulator::sharded_schedule(Rank rank, Time t, EventFn fn) {
+  Shard* ctx = tls_window_;
+  if (ctx != nullptr && ctx->sim == this) {
+    const Rank dest = rank >= 0 ? rank : ctx->first_rank;
+    if (shard_of(dest) == ctx->id && t < ctx->w_end) {
+      // Same shard, inside the window: execute it this window under a
+      // provisional sequence (same-time wake chains depend on this); the
+      // merge maps it back to the sequence the sequential engine would
+      // have assigned at this very call.
+      const std::uint64_t prov = kProvBase + ctx->prov_next++;
+      Shard::Action a;
+      a.kind = Shard::Action::Kind::kLocalProv;
+      a.prov = prov;
+      ctx->actions.push_back(std::move(a));
+      ctx->queue.push_keyed(t, prov, std::move(fn));
+      return;
+    }
+    // Cross-shard (guaranteed >= window end by the lookahead bound) or
+    // beyond this window: hold it for sequence assignment at merge.
+    Shard::Action a;
+    a.kind = Shard::Action::Kind::kPush;
+    a.rank = dest;
+    a.t = t;
+    a.fn = std::move(fn);
+    ctx->actions.push_back(std::move(a));
+    return;
+  }
+  if (engine_ != nullptr && engine_->merging) {
+    // Push issued by a deferred action replayed at merge: globally
+    // ordered already, assign the final sequence directly.
+    engine_->incoming.push_back(
+        Engine::Incoming{rank >= 0 ? rank : 0, t, global_seq_++,
+                         std::move(fn)});
+    return;
+  }
+  // Pre-run staging: sequences are final (call order), distribution to
+  // shard queues happens at run start.
+  staged_.push_back(Staged{rank >= 0 ? rank : 0, t, global_seq_++,
+                           std::move(fn)});
+}
+
+void Simulator::defer_window(std::function<void()> fn) {
+  Shard* ctx = tls_window_;
+  Shard::Action a;
+  a.kind = Shard::Action::Kind::kDefer;
+  a.deferred = std::move(fn);
+  ctx->actions.push_back(std::move(a));
+}
+
+// -- Run loops ---------------------------------------------------------------
 
 void Simulator::run() {
   // Inclusive wall time of the whole drive loop; subsystem sections
   // (P2P, RMA, ...) nest inside it.
   const prof::ScopedTimer pt(prof::Section::kEventLoop);
+  if (sharded_) {
+    run_sharded();
+  } else {
+    run_sequential();
+  }
+}
+
+void Simulator::run_sequential() {
   while (!queue_.empty()) {
     const auto& top = queue_.peek();
     const Time t = top.t;
@@ -148,28 +367,243 @@ void Simulator::run() {
     // rank coroutine surfaces at the right virtual time.
     if (error_) std::rethrow_exception(error_);
   }
+  throw_if_stuck();
+}
+
+void Simulator::run_window(Shard& s) {
+  tls_window_ = &s;
+  try {
+    while (!s.queue.empty()) {
+      const EventQueue::Key k = s.queue.peek();
+      if (k.t >= s.w_end) break;
+      Shard::Exec ex{k.t, k.seq,
+                     static_cast<std::uint32_t>(s.actions.size()), 0};
+      EventQueue::Event ev = s.queue.pop();
+      ev.fn(k.t);
+      ex.actions_end = static_cast<std::uint32_t>(s.actions.size());
+      s.execs.push_back(ex);
+      if (s.failure) break;
+    }
+  } catch (...) {
+    if (!s.failure) s.failure = std::current_exception();
+  }
+  tls_window_ = nullptr;
+}
+
+void Simulator::merge_window() {
+  auto& e = *engine_;
+  e.merging = true;
+  // K-way merge of the shard execution streams by (time, final sequence).
+  // A provisional key's final sequence is always resolvable when its event
+  // reaches the head: the push that created it is an earlier entry of the
+  // same shard's stream, so its kLocalProv action has already run.
+  std::vector<std::size_t> head(e.shards.size(), 0);
+  auto resolved = [](const Shard& s, const Shard::Exec& ex) {
+    return ex.key >= kProvBase
+               ? s.prov_final[static_cast<std::size_t>(ex.key - kProvBase)]
+               : ex.key;
+  };
+  for (;;) {
+    int best = -1;
+    Time bt = 0;
+    std::uint64_t bs = 0;
+    for (std::size_t i = 0; i < e.shards.size(); ++i) {
+      const Shard& s = *e.shards[i];
+      if (head[i] == s.execs.size()) continue;
+      const Shard::Exec& ex = s.execs[head[i]];
+      const std::uint64_t fs = resolved(s, ex);
+      if (best < 0 || ex.t < bt || (ex.t == bt && fs < bs)) {
+        best = static_cast<int>(i);
+        bt = ex.t;
+        bs = fs;
+      }
+    }
+    if (best < 0) break;
+    Shard& s = *e.shards[best];
+    const Shard::Exec& ex = s.execs[head[best]++];
+    now_ = std::max(now_, ex.t);
+    trace_hash_ = util::hash_combine(
+        trace_hash_, util::hash_combine(static_cast<std::uint64_t>(ex.t), bs));
+    ++events_executed_;
+    for (std::uint32_t a = ex.actions_begin; a != ex.actions_end; ++a) {
+      Shard::Action& act = s.actions[a];
+      switch (act.kind) {
+        case Shard::Action::Kind::kLocalProv: {
+          const auto slot = static_cast<std::size_t>(act.prov - kProvBase);
+          if (slot >= s.prov_final.size()) s.prov_final.resize(slot + 1);
+          s.prov_final[slot] = global_seq_++;
+          break;
+        }
+        case Shard::Action::Kind::kPush:
+          assert(shard_of(act.rank) == s.id || act.t >= s.w_end);
+          e.incoming.push_back(Engine::Incoming{act.rank, act.t,
+                                                global_seq_++,
+                                                std::move(act.fn)});
+          break;
+        case Shard::Action::Kind::kDefer:
+          act.deferred();
+          break;
+      }
+    }
+  }
+  for (auto& sp : e.shards) {
+    sp->execs.clear();
+    sp->actions.clear();
+    sp->prov_next = 0;
+  }
+  e.merging = false;
+  for (auto& in : e.incoming) {
+    e.shards[shard_of(in.rank)]->queue.push_keyed(in.t, in.seq,
+                                                  std::move(in.fn));
+  }
+  e.incoming.clear();
+}
+
+void Simulator::prepare_window(bool first) {
+  auto& e = *engine_;
+  if (!first) {
+    for (const auto& s : e.shards) {
+      if (s->failure) {
+        // Skip the merge: the window is torn anyway and the exception
+        // preempts every observable result.
+        pending_throw_ = s->failure;
+        e.done = true;
+        return;
+      }
+    }
+    merge_window();
+  }
+  Time w = 0;
+  bool have = false;
+  for (const auto& s : e.shards) {
+    if (s->queue.empty()) continue;
+    const Time t = s->queue.peek().t;
+    if (!have || t < w) w = t;
+    have = true;
+  }
+  if (!have) {
+    e.done = true;
+    return;
+  }
+  // Identical boundary semantics to the sequential loop: every hook fires
+  // just before the first event at or past its boundary (no events exist
+  // between the previous window's end and w), then the watchdog compares
+  // the next event time against the horizon.
+  if (!hooks_.empty()) fire_hooks(w);
+  if (horizon_ > 0 && w > horizon_) {
+    std::ostringstream os;
+    os << "watchdog: next event at t=" << w
+       << "ns exceeds the virtual-time horizon of " << horizon_ << "ns\n"
+       << progress_report();
+    pending_throw_ = std::make_exception_ptr(WatchdogError(os.str()));
+    e.done = true;
+    return;
+  }
+  Time w_end = w + lookahead_;
+  // Cap the window so no hook boundary and no horizon crossing falls
+  // strictly inside it — both must be window-global decisions taken at a
+  // barrier, at the exact virtual boundary the sequential engine uses.
+  for (const Hook& h : hooks_) {
+    if (h.fn && h.next_at < w_end) w_end = h.next_at;
+  }
+  if (horizon_ > 0 && horizon_ + 1 < w_end) w_end = horizon_ + 1;
+  e.w_end = w_end;
+  for (auto& s : e.shards) s->w_end = w_end;
+}
+
+void Simulator::run_sharded() {
+  if (lookahead_ <= 0) {
+    throw std::logic_error(
+        "Simulator: sharded mode needs a positive lookahead "
+        "(limit_lookahead), normally set by the MPI machine from "
+        "net::Network::min_remote_delay()");
+  }
+  engine_ = std::make_unique<Engine>();
+  auto& e = *engine_;
+  e.nshards = std::min<int>(threads_, nranks());
+  e.ranks_per_shard = (nranks() + e.nshards - 1) / e.nshards;
+  for (int i = 0; i < e.nshards; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->id = i;
+    s->first_rank = static_cast<Rank>(i * e.ranks_per_shard);
+    s->sim = this;
+    e.shards.push_back(std::move(s));
+  }
+  for (auto& st : staged_) {
+    e.shards[shard_of(st.rank)]->queue.push_keyed(st.t, st.seq,
+                                                  std::move(st.fn));
+  }
+  staged_.clear();
+  // Message buffers are allocated on one shard and released on another;
+  // gate the shared pool behind its mutex for the duration of the run.
+  const util::BufferPoolThreadGuard pool_guard;
+
+  std::barrier start_bar(e.nshards);
+  std::barrier end_bar(e.nshards);
+  // A throw out of window preparation (a merged deferred action can throw,
+  // e.g. a collective misuse error) must not escape while workers wait at
+  // the start barrier — park it and let the loop wind down first.
+  try {
+    prepare_window(true);
+  } catch (...) {
+    pending_throw_ = std::current_exception();
+    e.done = true;
+  }
+  e.workers.reserve(static_cast<std::size_t>(e.nshards) - 1);
+  for (int i = 1; i < e.nshards; ++i) {
+    e.workers.emplace_back([this, i, &start_bar, &end_bar] {
+      for (;;) {
+        start_bar.arrive_and_wait();
+        if (engine_->done) return;
+        run_window(*engine_->shards[i]);
+        end_bar.arrive_and_wait();
+      }
+    });
+  }
+  for (;;) {
+    start_bar.arrive_and_wait();
+    if (e.done) break;
+    run_window(*e.shards[0]);
+    end_bar.arrive_and_wait();
+    try {
+      prepare_window(false);
+    } catch (...) {
+      pending_throw_ = std::current_exception();
+      e.done = true;
+    }
+  }
+  for (auto& w : e.workers) w.join();
+  engine_.reset();
+  if (pending_throw_) {
+    std::exception_ptr p = pending_throw_;
+    pending_throw_ = nullptr;
+    std::rethrow_exception(p);
+  }
+  throw_if_stuck();
+}
+
+void Simulator::throw_if_stuck() {
   int stuck = 0;
   for (Rank r = 0; r < nranks(); ++r) {
     if (ranks_[r].task.valid() && !ranks_[r].done && !ranks_[r].crashed) {
       ++stuck;
     }
   }
-  if (stuck > 0) {
-    std::ostringstream os;
-    if (crashed_ > 0) {
-      // Survivors are blocked on a dead peer: that is a rank failure to
-      // recover from, not a protocol deadlock.
-      os << "rank failure at t=" << now_ << "ns: " << crashed_
-         << " rank(s) crashed and the event queue drained with " << stuck
-         << " survivor(s) still suspended\n"
-         << progress_report();
-      throw RankFailure(os.str());
-    }
-    os << "simulation deadlock at t=" << now_
-       << "ns: event queue drained with " << stuck << " rank(s) stuck\n"
+  if (stuck == 0) return;
+  std::ostringstream os;
+  if (crashed_ > 0) {
+    // Survivors are blocked on a dead peer: that is a rank failure to
+    // recover from, not a protocol deadlock.
+    os << "rank failure at t=" << now_ << "ns: " << crashed_
+       << " rank(s) crashed and the event queue drained with " << stuck
+       << " survivor(s) still suspended\n"
        << progress_report();
-    throw DeadlockError(os.str());
+    throw RankFailure(os.str());
   }
+  os << "simulation deadlock at t=" << now_
+     << "ns: event queue drained with " << stuck << " rank(s) stuck\n"
+     << progress_report();
+  throw DeadlockError(os.str());
 }
 
 std::string Simulator::progress_report() const {

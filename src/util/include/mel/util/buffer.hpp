@@ -11,11 +11,16 @@
 // slices. Writers that need to mutate a shared payload (the fault
 // injector's byte flip) clone first: copy-on-write, never in-place.
 //
-// The pool is process-global and deliberately NOT thread-safe: the whole
-// simulator is single-threaded by construction, and the refcount is a
-// plain integer for the same reason.
+// The pool is process-global. The refcount is atomic (a Buffer handed to a
+// cross-shard delivery closure is released on a different worker thread in
+// the simulator's sharded mode), but the free lists stay unlocked in the
+// default single-threaded configuration: the sharded run loop brackets
+// itself with a BufferPoolThreadGuard, and only while such a guard is live
+// do alloc/release take the pool mutex. Sequential runs pay one relaxed
+// atomic load per pool operation and nothing else.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -65,7 +70,10 @@ class Buffer {
   operator std::span<const std::byte>() const noexcept { return span(); }
 
   /// True when this handle is the only reference to the block (or empty).
-  bool unique() const noexcept { return block_ == nullptr || block_->refs == 1; }
+  bool unique() const noexcept {
+    return block_ == nullptr ||
+           block_->refs.load(std::memory_order_acquire) == 1;
+  }
 
   /// Writable payload. Only legal on a uniquely-owned buffer — mutating a
   /// shared block would corrupt every other holder (e.g. a retransmit
@@ -98,7 +106,7 @@ class Buffer {
 
  private:
   struct Block {
-    std::uint32_t refs;
+    std::atomic<std::uint32_t> refs;
     std::uint8_t size_class;  // index into the free lists; kOversized = raw
     std::size_t size;         // payload bytes in use
   };
@@ -113,13 +121,29 @@ class Buffer {
       alignof(std::max_align_t) * alignof(std::max_align_t);
 
   void retain() noexcept {
-    if (block_ != nullptr) ++block_->refs;
+    // Relaxed: bumping a count the caller already holds a reference on
+    // needs no ordering; the release side pairs acq_rel on the final drop.
+    if (block_ != nullptr) {
+      block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   void release() noexcept;
 
   explicit Buffer(Block* b) noexcept : block_(b) {}
 
   Block* block_ = nullptr;
+};
+
+/// RAII gate making the buffer pool's free lists safe for concurrent
+/// alloc/release. The sharded simulator holds one for the duration of a
+/// multi-threaded run; while any guard is live, pool operations take an
+/// internal mutex. Guards nest (the gate is a counter).
+class BufferPoolThreadGuard {
+ public:
+  BufferPoolThreadGuard();
+  ~BufferPoolThreadGuard();
+  BufferPoolThreadGuard(const BufferPoolThreadGuard&) = delete;
+  BufferPoolThreadGuard& operator=(const BufferPoolThreadGuard&) = delete;
 };
 
 }  // namespace mel::util

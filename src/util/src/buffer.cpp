@@ -1,7 +1,9 @@
 #include "mel/util/buffer.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
+#include <mutex>
 #include <new>
 #include <stdexcept>
 #include <vector>
@@ -37,17 +39,48 @@ struct Pool {
 
 Pool& pool() {
   // mellint: allow(global-cache) — process-wide buffer pool, deliberate:
-  // single-threaded today; must become per-shard (or take a lock) as part
-  // of the threaded-DES work, and the steady-alloc test will catch any
-  // accidental cross-thread sharing before the race does.
+  // unlocked in the default single-threaded configuration, guarded by
+  // pool_mutex() whenever a BufferPoolThreadGuard is live (the sharded
+  // simulator holds one for the whole multi-threaded run).
   static Pool p;
   return p;
 }
 
+std::mutex& pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Count of live BufferPoolThreadGuards. While non-zero, every pool
+/// free-list operation locks pool_mutex().
+// mellint: allow(mutable-static) — the thread gate itself; atomic, and
+// only ever flipped outside the data-parallel window phase.
+std::atomic<int> g_pool_thread_gate{0};
+
+/// Locks the pool mutex only when the thread gate is up — sequential runs
+/// pay one relaxed load and skip the lock entirely.
+struct PoolLock {
+  std::unique_lock<std::mutex> lk;
+  PoolLock() {
+    if (g_pool_thread_gate.load(std::memory_order_relaxed) > 0) {
+      lk = std::unique_lock(pool_mutex());
+    }
+  }
+};
+
 }  // namespace
+
+BufferPoolThreadGuard::BufferPoolThreadGuard() {
+  g_pool_thread_gate.fetch_add(1, std::memory_order_seq_cst);
+}
+
+BufferPoolThreadGuard::~BufferPoolThreadGuard() {
+  g_pool_thread_gate.fetch_sub(1, std::memory_order_seq_cst);
+}
 
 Buffer Buffer::alloc(std::size_t n) {
   if (n == 0) return Buffer{};
+  const PoolLock lock;
   Pool& p = pool();
   ++p.stats.allocs;
   ++p.stats.live_blocks;
@@ -69,7 +102,7 @@ Buffer Buffer::alloc(std::size_t n) {
     b = static_cast<Block*>(::operator new(kHeaderBytes + n));
     b->size_class = kOversized;
   }
-  b->refs = 1;
+  b->refs.store(1, std::memory_order_relaxed);
   b->size = n;
   return Buffer{b};
 }
@@ -81,7 +114,14 @@ Buffer Buffer::copy_of(std::span<const std::byte> bytes) {
 }
 
 void Buffer::release() noexcept {
-  if (block_ == nullptr || --block_->refs != 0) return;
+  if (block_ == nullptr) return;
+  // acq_rel on the final drop: the freeing thread must observe every
+  // write made by threads that held (and released) earlier references.
+  if (block_->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    block_ = nullptr;
+    return;
+  }
+  const PoolLock lock;
   Pool& p = pool();
   --p.stats.live_blocks;
   if (block_->size_class == kOversized) {
@@ -95,7 +135,7 @@ void Buffer::release() noexcept {
 
 std::byte* Buffer::mutable_data() {
   if (block_ == nullptr) return nullptr;
-  if (block_->refs != 1) {
+  if (block_->refs.load(std::memory_order_acquire) != 1) {
     throw std::logic_error(
         "Buffer::mutable_data on a shared block — clone() first");
   }
@@ -104,9 +144,13 @@ std::byte* Buffer::mutable_data() {
 
 Buffer Buffer::clone() const { return copy_of(span()); }
 
-Buffer::PoolStats Buffer::pool_stats() { return pool().stats; }
+Buffer::PoolStats Buffer::pool_stats() {
+  const PoolLock lock;
+  return pool().stats;
+}
 
 void Buffer::trim_pool() {
+  const PoolLock lock;
   Pool& p = pool();
   for (auto& fl : p.free_list) {
     for (void* q : fl) ::operator delete(q);

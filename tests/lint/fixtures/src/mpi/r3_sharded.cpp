@@ -1,0 +1,37 @@
+// R3 fixture: sharded-run-loop shared state inside the determinism core.
+// Bare synchronization primitives are exempt (they guard state, they are
+// not state); atomics, thread_local storage, and thread-owning classes
+// fire and need a justified allow().
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace fixture::mpi {
+
+std::mutex g_guard;                   // negative: pure sync primitive
+static std::once_flag g_once;         // negative: pure sync primitive
+std::condition_variable g_wakeup;     // negative: pure sync primitive
+
+std::atomic<int> g_counter{0};        // finding: atomic in the core
+thread_local int g_scratch = 0;       // finding: thread_local
+const thread_local int g_tls_id = 7;  // negative: immutable
+static thread_local void* g_ctx = nullptr;  // finding: static thread_local
+
+struct Pool {
+  std::thread worker;  // finding: class owns a worker thread
+  int jobs = 0;
+};
+
+struct JPool {
+  std::vector<std::jthread> workers;  // finding: jthread owner
+  void take(std::thread t);           // negative: member function
+  std::thread make();                 // negative: factory, not a member
+  std::mutex m;                       // negative: sync member
+};
+
+// mellint: allow(mutable-static, global-cache) — routing-only state,
+// never feeds virtual time (both spellings so the copy-under-src/app
+// test stays suppressed too)
+thread_local int g_suppressed = 0;
+
+}  // namespace fixture::mpi

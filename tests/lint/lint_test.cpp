@@ -79,6 +79,30 @@ TEST(MellintRules, R3MutableStaticInCoreExactLines) {
                         }));
 }
 
+TEST(MellintRules, R3ShardedRunLoopStateExactLines) {
+  const auto fs = lint_fixture("src/mpi/r3_sharded.cpp");
+  EXPECT_EQ(sketch(fs), (std::vector<std::string>{
+                            "mutable-static@15",
+                            "mutable-static@16",
+                            "mutable-static@18",
+                            "mutable-static@21",
+                            "mutable-static@26",
+                        }));
+}
+
+TEST(MellintRules, R3ShardedHazardsOutsideCoreAreR5MinusAtomics) {
+  // Outside the determinism core the same hazards report global-cache,
+  // except atomics: race-free state needs no justification there.
+  const std::string src = read_file(fixture_path("src/mpi/r3_sharded.cpp"));
+  const auto fs = lint::lint_source("src/app/copy_sharded.cpp", src, {});
+  EXPECT_EQ(sketch(fs), (std::vector<std::string>{
+                            "global-cache@16",
+                            "global-cache@18",
+                            "global-cache@21",
+                            "global-cache@26",
+                        }));
+}
+
 TEST(MellintRules, R3SameHazardsOutsideCoreAreR5) {
   // The identical source under a non-core path reports global-cache.
   const std::string src = read_file(fixture_path("src/mpi/r3_static.cpp"));
@@ -231,7 +255,7 @@ TEST(MellintFiles, CollectsSortedLintableSources) {
   const auto files =
       lint::collect_files({std::string(MEL_LINT_FIXTURE_DIR)}, &errors);
   EXPECT_TRUE(errors.empty());
-  ASSERT_EQ(files.size(), 7u);
+  ASSERT_EQ(files.size(), 8u);
   EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
   for (const auto& f : files) {
     EXPECT_NE(f.find("fixtures/src/"), std::string::npos) << f;

@@ -87,7 +87,11 @@ const Pin kPins[] = {
 
 match::RunResult run_one(match::Model model, std::uint64_t seed) {
   const auto g = gen::rmat(kScale, kEdgeFactor, seed);
-  return match::run_match(g, kRanks, model, {});
+  match::RunConfig cfg;
+  // CI re-runs the whole pin table on the sharded engine (MEL_THREADS=4):
+  // the pinned hashes must hold verbatim at any thread count.
+  if (const char* t = std::getenv("MEL_THREADS")) cfg.threads = std::atoi(t);
+  return match::run_match(g, kRanks, model, cfg);
 }
 
 TEST(DeterminismPin, TraceHashAndWeightPerBackendAndSeed) {

@@ -93,3 +93,60 @@ execute_process(
 if(NOT ok_code EQUAL 0)
   message(FATAL_ERROR "valid --fault-crash: expected exit 0, got ${ok_code}: ${ok_err}")
 endif()
+
+# --threads validation: same parse-time convention (exit 2, --help pointer,
+# no graph work). The reuse of expect_crash_rejected is deliberate — every
+# usage error shares one contract.
+expect_crash_rejected("zero threads" "--threads: must be between 1 and 1024"
+                      --threads 0)
+expect_crash_rejected("negative threads" "--threads: must be between"
+                      --threads -1)
+expect_crash_rejected("non-numeric threads" "--threads: expected an integer"
+                      --threads abc)
+expect_crash_rejected("absurd threads" "--threads: must be between"
+                      --threads 2000)
+
+# --intra-node-params validation.
+expect_crash_rejected("intra two fields" "expected L,O,G"
+                      --intra-node-params 100,5)
+expect_crash_rejected("intra four fields" "expected L,O,G"
+                      --intra-node-params 100,5,0.1,9)
+expect_crash_rejected("intra non-numeric" "L must be an integer"
+                      --intra-node-params a,b,c)
+expect_crash_rejected("intra zero latency" "must be positive"
+                      --intra-node-params 0,5,0.1)
+expect_crash_rejected("intra negative bandwidth" "G \\(ns/byte\\) must be"
+                      --intra-node-params 100,5,-0.1)
+
+# --threads 2 is accepted and the machine-readable summary is identical to
+# the sequential run — the CLI-level face of the bit-identical guarantee.
+execute_process(
+  COMMAND ${MELSIM} --model NSR --ranks 8 --gen er --verts 100 --edges 400
+          --threads 1 --csv
+  RESULT_VARIABLE seq_code
+  OUTPUT_VARIABLE seq_out
+  ERROR_VARIABLE seq_err)
+execute_process(
+  COMMAND ${MELSIM} --model NSR --ranks 8 --gen er --verts 100 --edges 400
+          --threads 2 --csv
+  RESULT_VARIABLE thr_code
+  OUTPUT_VARIABLE thr_out
+  ERROR_VARIABLE thr_err)
+if(NOT seq_code EQUAL 0 OR NOT thr_code EQUAL 0)
+  message(FATAL_ERROR "--threads run failed: seq=${seq_code} thr=${thr_code}: ${thr_err}")
+endif()
+if(NOT seq_out STREQUAL thr_out)
+  message(FATAL_ERROR "--threads 2 summary diverged from sequential:\n${seq_out}\nvs\n${thr_out}")
+endif()
+
+# Valid --intra-node-params values equal to the inter-node defaults are a
+# no-op; cheaper values change virtual time (the NSR-HIER leader-hop lever).
+execute_process(
+  COMMAND ${MELSIM} --model NSR-HIER --ranks 8 --gen er --verts 100
+          --edges 400 --intra-node-params 50,10,0.01 --csv
+  RESULT_VARIABLE intra_code
+  OUTPUT_VARIABLE intra_out
+  ERROR_VARIABLE intra_err)
+if(NOT intra_code EQUAL 0)
+  message(FATAL_ERROR "valid --intra-node-params: expected exit 0, got ${intra_code}: ${intra_err}")
+endif()

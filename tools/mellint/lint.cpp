@@ -430,6 +430,38 @@ const std::set<std::string>& clock_names() {
   return kNames;
 }
 
+/// Pure synchronization primitives: a bare static mutex/flag/latch carries
+/// no data, so it is not shared *state* — it is the synchronization that
+/// guards state. These are exempt from R3/R5 everywhere. (Only top-level
+/// type names count: `std::vector<std::mutex>` is still a container and
+/// still fires.)
+const std::set<std::string>& sync_only_names() {
+  static const std::set<std::string> kNames = {
+      "mutex",
+      "timed_mutex",
+      "recursive_mutex",
+      "recursive_timed_mutex",
+      "shared_mutex",
+      "shared_timed_mutex",
+      "once_flag",
+      "condition_variable",
+      "condition_variable_any",
+      "barrier",
+      "latch",
+      "counting_semaphore",
+      "binary_semaphore",
+  };
+  return kNames;
+}
+
+/// std::atomic and its aliases (atomic_flag, atomic_int, ...). Race-free
+/// by construction, so outside the determinism core an atomic global needs
+/// no justification (R5 exempt). Inside the core it stays reportable:
+/// the *observed value* of an atomic still depends on host thread
+/// interleaving, and if it feeds a virtual-time decision the trace
+/// diverges between runs — the allow() must argue it never does.
+bool atomic_name(const std::string& s) { return s.rfind("atomic", 0) == 0; }
+
 /// Index of the previous / next code token (skipping comments, strings,
 /// pp lines), or -1 / toks.size() when none.
 int prev_code(const std::vector<Token>& toks, std::size_t i) {
@@ -534,6 +566,9 @@ void rule_static(const std::vector<Token>& toks, const RuleCtx& ctx) {
     bool immutable = false;
     bool is_function = false;
     bool terminated = false;
+    bool sync_only = false;
+    bool is_atomic = false;
+    bool is_tls = false;
     for (std::size_t j = i + 1; j < toks.size() && j < i + 64; ++j) {
       const Token& u = toks[j];
       if (!is_code(u)) continue;
@@ -544,6 +579,11 @@ void rule_static(const std::vector<Token>& toks, const RuleCtx& ctx) {
           (u.text == "const" || u.text == "constexpr")) {
         immutable = true;
         break;
+      }
+      if (u.kind == Tk::kIdent) {
+        if (u.text == "thread_local") is_tls = true;
+        if (sync_only_names().count(u.text)) sync_only = true;
+        if (atomic_name(u.text)) is_atomic = true;
       }
       if (u.text == "(") {
         is_function = true;
@@ -556,6 +596,17 @@ void rule_static(const std::vector<Token>& toks, const RuleCtx& ctx) {
       }
     }
     if (immutable || is_function || !terminated) continue;
+    if (is_tls) continue;  // rule_thread_local owns thread_local storage
+    if (sync_only) continue;
+    if (is_atomic && !ctx.in_core) continue;
+    if (is_atomic) {
+      ctx.add(rule, t.line,
+              "atomic static in the determinism core: race-free, but the "
+              "observed value still depends on host thread interleaving — "
+              "if it ever feeds a virtual-time decision the trace diverges; "
+              "allow() must argue it never does");
+      continue;
+    }
     ctx.add(rule, t.line,
             ctx.in_core
                 ? "mutable static storage in the determinism core: shared "
@@ -564,6 +615,108 @@ void rule_static(const std::vector<Token>& toks, const RuleCtx& ctx) {
                 : "mutable static (cache/registry?) — fine single-threaded, "
                   "a data race under the threaded DES; justify with "
                   "allow(global-cache) and a thread-safety plan, or remove");
+  }
+}
+
+// R3/R5 detector C: thread_local storage. Per-host-thread state in the
+// determinism core means behaviour can depend on the rank -> shard -> host
+// thread mapping, which changes with --threads; even routing-only uses
+// must carry the no-virtual-time-effect argument in an allow().
+void rule_thread_local(const std::vector<Token>& toks, const RuleCtx& ctx) {
+  const std::string_view rule =
+      ctx.in_core ? kRuleMutableStatic : kRuleGlobalCache;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tk::kIdent || t.text != "thread_local") continue;
+    // const/constexpr may precede the keyword (`const thread_local ...`).
+    bool immutable = false;
+    for (int j = static_cast<int>(i) - 1; j >= 0; --j) {
+      const Token& u = toks[static_cast<std::size_t>(j)];
+      if (!is_code(u)) continue;
+      if (u.text == ";" || u.text == "{" || u.text == "}") break;
+      if (u.text == "const" || u.text == "constexpr") immutable = true;
+    }
+    int angle = 0;
+    bool terminated = false;
+    for (std::size_t j = i + 1; j < toks.size() && j < i + 64; ++j) {
+      const Token& u = toks[j];
+      if (!is_code(u)) continue;
+      if (u.text == "<") ++angle;
+      if (u.text == ">") angle = std::max(0, angle - 1);
+      if (angle > 0) continue;
+      if (u.kind == Tk::kIdent &&
+          (u.text == "const" || u.text == "constexpr")) {
+        immutable = true;
+        break;
+      }
+      if (u.text == ";" || u.text == "=" || u.text == "{") {
+        terminated = true;
+        break;
+      }
+    }
+    if (immutable || !terminated) continue;
+    ctx.add(rule, t.line,
+            ctx.in_core
+                ? "thread_local in the determinism core: per-host-thread "
+                  "state ties behaviour to the rank->shard mapping, which "
+                  "changes with --threads; routing-only state needs an "
+                  "allow() arguing it never affects virtual time"
+                : "thread_local global: hidden per-thread state that "
+                  "diverges under the threaded DES; justify with "
+                  "allow(global-cache) or pass explicit context");
+  }
+}
+
+// R3/R5 detector D: a class that owns worker threads (std::thread /
+// std::jthread members). Every other member of such a class is de-facto
+// shared state across those threads; the allow() on the member should
+// name the synchronization discipline (barriers, phases, mutex) that
+// keeps non-atomic members race-free.
+void rule_thread_owner(const std::vector<Token>& toks,
+                       const ScopeInfo& scopes, const RuleCtx& ctx) {
+  const std::string_view rule =
+      ctx.in_core ? kRuleMutableStatic : kRuleGlobalCache;
+  int last_line = -1;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tk::kIdent ||
+        (t.text != "thread" && t.text != "jthread")) {
+      continue;
+    }
+    if (scopes.at[i] != Scope::kClass) continue;
+    // Only the type use `std::thread` / `std::jthread` counts; plain
+    // identifiers named `thread` and member functions do not.
+    const int pv = prev_code(toks, i);
+    if (pv < 0 || toks[static_cast<std::size_t>(pv)].text != "::") continue;
+    // Member *data* only: a '(' or ')' before the declaration ends marks
+    // a member function (factory returning std::thread, or a parameter).
+    int angle = 0;
+    bool is_function = false;
+    bool terminated = false;
+    for (std::size_t j = i + 1; j < toks.size() && j < i + 64; ++j) {
+      const Token& u = toks[j];
+      if (!is_code(u)) continue;
+      if (u.text == "<") ++angle;
+      if (u.text == ">") angle = std::max(0, angle - 1);
+      if (angle > 0) continue;
+      if (u.text == "(" || u.text == ")") {
+        is_function = true;
+        terminated = true;
+        break;
+      }
+      if (u.text == ";" || u.text == "=" || u.text == "{") {
+        terminated = true;
+        break;
+      }
+    }
+    if (is_function || !terminated) continue;
+    if (t.line == last_line) continue;
+    last_line = t.line;
+    ctx.add(rule, t.line,
+            "class owns worker threads (std::" + t.text +
+                " member): its other members are shared state across those "
+                "threads; allow() here must name the synchronization "
+                "discipline that keeps non-atomic members race-free");
   }
 }
 
@@ -616,6 +769,9 @@ void rule_namespace_globals(const std::vector<Token>& toks,
       if (kSkipLead.count(stmt.front()->text)) break;
       int paren_at = -1, assign_at = -1;
       bool immutable = false;
+      bool sync_only = false;
+      bool is_atomic = false;
+      bool is_tls = false;
       int idents = 0;
       int angle = 0;
       for (std::size_t k = 0; k < stmt.size(); ++k) {
@@ -628,12 +784,20 @@ void rule_namespace_globals(const std::vector<Token>& toks,
           if (u.text == "operator" || kSkipLead.count(u.text)) {
             immutable = true;  // not a plain variable declaration
           }
+          if (u.text == "thread_local") is_tls = true;
+          if (angle == 0) {
+            if (sync_only_names().count(u.text)) sync_only = true;
+            if (atomic_name(u.text)) is_atomic = true;
+          }
         }
         if (angle > 0) continue;
         if (u.text == "(" && paren_at < 0) paren_at = static_cast<int>(k);
         if (u.text == "=" && assign_at < 0) assign_at = static_cast<int>(k);
       }
       if (immutable || idents < 2) break;
+      if (is_tls) break;  // rule_thread_local owns thread_local storage
+      if (sync_only) break;
+      if (is_atomic && !ctx.in_core) break;
       // A '(' before any '=' marks a function declaration/prototype.
       if (paren_at >= 0 && (assign_at < 0 || paren_at < assign_at)) break;
       ctx.add(rule, stmt.front()->line,
@@ -754,6 +918,8 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view src,
   if (enabled(ctx.in_core ? kRuleMutableStatic : kRuleGlobalCache)) {
     rule_static(toks, ctx);
     rule_namespace_globals(toks, scopes, ctx);
+    rule_thread_local(toks, ctx);
+    rule_thread_owner(toks, scopes, ctx);
   }
   if (enabled(kRulePointerOrder)) rule_pointer_order(toks, ctx);
 

@@ -10,15 +10,22 @@
 //                           implementation-defined and seed-dependent)
 //   R2 wallclock            wall-clock / entropy reads outside the
 //                           host-profiling allowlist (src/prof)
-//   R3 mutable-static       mutable namespace-scope or static storage in
-//                           the determinism core (src/runtime, src/mpi,
-//                           src/net, src/ft) — shared state that breaks
-//                           the moment shards run concurrently
+//   R3 mutable-static       non-atomic shared state in the determinism
+//                           core (src/runtime, src/mpi, src/net, src/ft):
+//                           mutable namespace-scope / static storage,
+//                           thread_local storage, atomics (race-free but
+//                           order-nondeterministic), and classes owning
+//                           worker threads whose other members are
+//                           de-facto shared. Bare synchronization
+//                           primitives (mutex, once_flag, barrier, ...)
+//                           are exempt — they guard state, they are not
+//                           state.
 //   R4 pointer-order        ordering or hashing by pointer value
 //                           (std::hash<T*>, map/set keyed on T*, ...)
 //                           — address-dependent, differs run to run
-//   R5 global-cache         mutable global / static state anywhere else,
-//                           unless justified with a mellint suppression
+//   R5 global-cache         the same hazards anywhere else, unless
+//                           justified with a mellint suppression;
+//                           non-core atomics are additionally exempt
 //
 // Findings can be silenced per line with
 //     // mellint: allow(<rule>[, <rule>...]) — <reason>

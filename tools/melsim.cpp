@@ -85,6 +85,12 @@ constexpr Flag kFlags[] = {
     {"ft-recovery", "shrink|rollback",
      "crash recovery strategy: ULFM shrink-and-continue on live survivor "
      "state (default) or rollback to the last checkpoint"},
+    {"threads", "T",
+     "host threads for the sharded event engine (1-1024, default 1); "
+     "results are bit-identical at any value"},
+    {"intra-node-params", "L,O,G",
+     "intra-node LogGP overrides: latency ns, send/recv overhead ns, "
+     "inverse bandwidth ns/byte (defaults equal the inter-node values)"},
     {"watchdog-horizon", "NS", "abort if virtual time exceeds NS (0=off)"},
     {"no-audit", "", "disable finalize-time invariant audits"},
     {"host-profile", "",
@@ -173,6 +179,63 @@ std::vector<chaos::Config::Crash> parse_crashes(const std::string& text,
   return out;
 }
 
+/// Parse --threads (same exit-2 + --help convention): a strict integer in
+/// [1, 1024] — non-numeric, non-positive, or absurd values are usage
+/// errors, not something to clamp silently.
+int parse_threads(const std::string& text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw std::invalid_argument(
+        "--threads: expected an integer, got \"" + text +
+        "\" (run `melsim --help` for the format)");
+  }
+  if (v < 1 || v > 1024) {
+    throw std::invalid_argument(
+        "--threads: must be between 1 and 1024, got " + text +
+        " (run `melsim --help` for the format)");
+  }
+  return static_cast<int>(v);
+}
+
+/// Parse --intra-node-params "L,O,G": intra-node latency (ns, > 0),
+/// send/recv software overhead (ns, >= 0), inverse bandwidth (ns/byte,
+/// >= 0). Same exit-2 + --help convention.
+struct IntraNodeParams {
+  sim::Time latency = 0;
+  sim::Time overhead = 0;
+  double inv_bw = 0.0;
+};
+
+IntraNodeParams parse_intra_node(const std::string& text) {
+  const auto bad = [&text](const char* why) {
+    throw std::invalid_argument(
+        "--intra-node-params: " + std::string(why) + ", got \"" + text +
+        "\" (run `melsim --help` for the format)");
+  };
+  const auto c1 = text.find(',');
+  const auto c2 = c1 == std::string::npos ? c1 : text.find(',', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos ||
+      text.find(',', c2 + 1) != std::string::npos) {
+    bad("expected L,O,G");
+  }
+  const std::string l = text.substr(0, c1);
+  const std::string o = text.substr(c1 + 1, c2 - c1 - 1);
+  const std::string g = text.substr(c2 + 1);
+  IntraNodeParams out;
+  char* end = nullptr;
+  out.latency = static_cast<sim::Time>(std::strtoll(l.c_str(), &end, 10));
+  if (l.empty() || end != l.c_str() + l.size()) bad("L must be an integer");
+  out.overhead = static_cast<sim::Time>(std::strtoll(o.c_str(), &end, 10));
+  if (o.empty() || end != o.c_str() + o.size()) bad("O must be an integer");
+  out.inv_bw = std::strtod(g.c_str(), &end);
+  if (g.empty() || end != g.c_str() + g.size()) bad("G must be a number");
+  if (out.latency <= 0) bad("L (latency ns) must be positive");
+  if (out.overhead < 0) bad("O (overhead ns) must be >= 0");
+  if (out.inv_bw < 0.0) bad("G (ns/byte) must be >= 0");
+  return out;
+}
+
 /// Parse --ft-recovery (same exit-2 + --help convention).
 ft::Recovery parse_recovery(const std::string& name) {
   if (name == "shrink") return ft::Recovery::kShrink;
@@ -225,6 +288,11 @@ int run(const util::Cli& cli) {
   if (cli.has("ft-recovery")) {
     recovery = parse_recovery(cli.get("ft-recovery", "shrink"));
   }
+  int threads = 1;
+  if (cli.has("threads")) threads = parse_threads(cli.get("threads", "1"));
+  IntraNodeParams intra;
+  const bool have_intra = cli.has("intra-node-params");
+  if (have_intra) intra = parse_intra_node(cli.get("intra-node-params", ""));
 
   const bool host_profile =
       cli.get_bool("host-profile", false) || cli.has("host-profile-json");
@@ -251,6 +319,13 @@ int run(const util::Cli& cli) {
                           static_cast<std::uint64_t>(cli.get_int("seed", 1)));
   }
   cfg.audit = !cli.get_bool("no-audit", false);
+  cfg.threads = threads;
+  if (have_intra) {
+    cfg.net.alpha_intra = intra.latency;
+    cfg.net.o_send_intra = intra.overhead;
+    cfg.net.o_recv_intra = intra.overhead;
+    cfg.net.beta_intra = intra.inv_bw;
+  }
   cfg.watchdog_horizon =
       static_cast<sim::Time>(cli.get_int("watchdog-horizon", 0));
   cfg.net.chaos.seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed", 1));
