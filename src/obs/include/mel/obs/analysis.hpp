@@ -92,6 +92,11 @@ std::vector<std::string> validate_metrics_file(const std::string& path);
 /// Human-readable rollup of one trace.
 std::string summarize(const TraceStats& s);
 
+/// Deterministic integer-only JSON rollup (schema mel.summary/1): every
+/// duration in ns, every count exact, no floats — identical traces
+/// always produce identical bytes.
+std::string summarize_json(const TraceStats& s);
+
 /// Side-by-side comparison of two traces (counts, per-category time,
 /// per-class flow volume, matrix totals).
 std::string diff(const TraceStats& a, const TraceStats& b,

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mel/mpi/machine.hpp"
+#include "mel/net/network.hpp"
 
 namespace mel::obs {
 
@@ -32,6 +33,13 @@ class Recorder final : public mpi::Tracer {
  public:
   /// Versioned schema tag carried by the metrics JSONL header record.
   static constexpr const char* kMetricsSchema = "mel.metrics/1";
+  /// Versioned schema tag carried by the Chrome trace's otherData header.
+  /// mel.trace/2 added the self-contained replay metadata: the full
+  /// net::Params (which includes the ranks-per-node node map), the run
+  /// result (total virtual time, trace hash, event count), and a config
+  /// digest — everything obs::Replayer needs to re-price the run from
+  /// the trace file alone.
+  static constexpr const char* kTraceSchema = "mel.trace/2";
 
   struct Span {
     Rank rank = -1;
@@ -102,6 +110,9 @@ class Recorder final : public mpi::Tracer {
                     std::uint64_t seed);
   void set_run_result(Time time_ns, std::uint64_t trace_hash,
                       std::uint64_t events_executed);
+  /// Embed the cost-model parameter set the run was priced under, making
+  /// the serialized trace self-contained for `meltrace replay`.
+  void set_net_params(const net::Params& params);
 
   // -- Serialization --------------------------------------------------------
   std::string to_chrome_json() const;
@@ -144,6 +155,8 @@ class Recorder final : public mpi::Tracer {
   int nranks_ = 0;
   std::uint64_t seed_ = 0;
   bool has_run_info_ = false;
+  net::Params net_params_{};
+  bool has_net_params_ = false;
   Time run_time_ns_ = 0;
   std::uint64_t run_trace_hash_ = 0;
   std::uint64_t run_events_ = 0;

@@ -471,6 +471,80 @@ std::string summarize(const TraceStats& s) {
   return os.str();
 }
 
+std::string summarize_json(const TraceStats& s) {
+  std::ostringstream os;
+  os << "{\"schema\":\"mel.summary/1\"";
+  os << ",\"events\":" << s.events;
+  os << ",\"nranks\":" << s.nranks;
+  os << ",\"max_rank\":" << s.max_rank;
+  os << ",\"ts_min_ns\":" << s.ts_min_ns;
+  os << ",\"ts_max_ns\":" << s.ts_max_ns;
+  os << ",\"violations\":[";
+  for (std::size_t i = 0; i < s.errors.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(s.errors[i]) << "\"";
+  }
+  os << "],\"dangling_flows\":" << s.dangling_flows;
+  os << ",\"spans_by_category\":{";
+  bool first = true;
+  for (const auto& [cat, roll] : s.spans_by_category) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(cat) << "\":{\"count\":" << roll.count
+       << ",\"total_ns\":" << roll.total_ns << ",\"max_ns\":" << roll.max_ns
+       << "}";
+  }
+  os << "},\"spans_by_rank\":{";
+  first = true;
+  for (const auto& [rank, roll] : s.spans_by_rank) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << rank << "\":{\"count\":" << roll.count
+       << ",\"total_ns\":" << roll.total_ns << ",\"max_ns\":" << roll.max_ns
+       << "}";
+  }
+  os << "},\"flows_by_class\":{";
+  first = true;
+  for (const auto& [cls, roll] : s.flows_by_class) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(cls) << "\":{\"count\":" << roll.count
+       << ",\"ended\":" << roll.ended << ",\"bytes\":" << roll.bytes
+       << ",\"total_latency_ns\":" << roll.total_latency_ns << "}";
+  }
+  os << "},\"top_spans\":[";
+  for (std::size_t i = 0; i < s.top_spans.size(); ++i) {
+    const auto& t = s.top_spans[i];
+    if (i) os << ",";
+    os << "{\"category\":\"" << json_escape(t.category)
+       << "\",\"rank\":" << t.rank << ",\"start_ns\":" << t.start_ns
+       << ",\"dur_ns\":" << t.dur_ns << "}";
+  }
+  os << "],\"instants\":{";
+  first = true;
+  for (const auto& [name, count] : s.instants_by_name) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << count;
+  }
+  os << "},\"counter_tracks\":{";
+  first = true;
+  for (const auto& [track, n] : s.counter_samples) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(track) << "\":" << n;
+  }
+  std::uint64_t msgs = 0, bytes = 0;
+  for (const auto& [pair, cell] : s.wire_matrix) {
+    msgs += cell.msgs;
+    bytes += cell.bytes;
+  }
+  os << "},\"wire\":{\"pairs\":" << s.wire_matrix.size()
+     << ",\"msgs\":" << msgs << ",\"bytes\":" << bytes << "}";
+  os << "}";
+  return os.str();
+}
+
 namespace {
 std::string delta(std::uint64_t a, std::uint64_t b) {
   std::ostringstream os;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mel/net/params_io.hpp"
 #include "mel/obs/json.hpp"
 
 namespace mel::obs {
@@ -115,6 +116,11 @@ void Recorder::set_run_result(Time time_ns, std::uint64_t trace_hash,
   run_trace_hash_ = trace_hash;
   run_events_ = events_executed;
   has_run_result_ = true;
+}
+
+void Recorder::set_net_params(const net::Params& params) {
+  net_params_ = params;
+  has_net_params_ = true;
 }
 
 namespace {
@@ -233,10 +239,47 @@ std::string Recorder::to_chrome_json() const {
 
   out += "],\"displayTimeUnit\":\"ns\"";
   if (has_run_info_) {
-    out += ",\"otherData\":{\"algo\":\"" + json_escape(algo_) +
-           "\",\"model\":\"" + json_escape(model_) +
-           "\",\"ranks\":" + std::to_string(nranks_) +
-           ",\"seed\":" + std::to_string(seed_) + "}";
+    out += ",\"otherData\":{\"schema\":\"";
+    out += kTraceSchema;
+    out += "\",\"algo\":\"" + json_escape(algo_) + "\",\"model\":\"" +
+           json_escape(model_) + "\",\"ranks\":" + std::to_string(nranks_) +
+           ",\"seed\":" + std::to_string(seed_);
+    if (has_net_params_) {
+      const std::string net_json = net::params_to_json(net_params_);
+      out += ",\"net\":" + net_json;
+      // Run-configuration digest: FNV-1a over everything that shaped the
+      // pricing, so two traces with equal digests were priced under an
+      // identical configuration (the replay fidelity gate keys on this).
+      std::uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](const std::string& s) {
+        for (const char c : s) {
+          h ^= static_cast<unsigned char>(c);
+          h *= 1099511628211ull;
+        }
+        h ^= 0x1f;
+        h *= 1099511628211ull;
+      };
+      mix(algo_);
+      mix(model_);
+      mix(std::to_string(nranks_));
+      mix(std::to_string(seed_));
+      mix(net_json);
+      char digest[32];
+      std::snprintf(digest, sizeof digest, "0x%016llx",
+                    static_cast<unsigned long long>(h));
+      out += ",\"config_digest\":\"";
+      out += digest;
+      out += "\"";
+    }
+    if (has_run_result_) {
+      char hash[32];
+      std::snprintf(hash, sizeof hash, "0x%016llx",
+                    static_cast<unsigned long long>(run_trace_hash_));
+      out += ",\"run\":{\"time_ns\":" + std::to_string(run_time_ns_) +
+             ",\"trace_hash\":\"" + hash +
+             "\",\"events\":" + std::to_string(run_events_) + "}";
+    }
+    out += "}";
   }
   out += "}";
   return out;

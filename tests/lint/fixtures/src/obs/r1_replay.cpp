@@ -1,0 +1,26 @@
+// R1 fixture: the replay-loader shape specifically — flows keyed by id
+// in an unordered map, then iterated to build the anchor DAG. Iteration
+// order would leak into anchor order and break bit-exact fidelity, which
+// is why obs code must key flows with ordered containers (or sort before
+// iterating, which the suppressor — not the rule — has to prove).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Flow {
+  std::int64_t id = 0;
+  long begin = 0;
+};
+
+std::vector<Flow> collect_flows(const std::vector<Flow>& events) {
+  std::unordered_map<std::int64_t, Flow> flows;  // line 18: finding
+  for (const auto& e : events) flows.emplace(e.id, e);
+  std::vector<Flow> out;
+  out.reserve(flows.size());
+  for (const auto& [id, f] : flows) out.push_back(f);  // order leak
+  return out;
+}
+
+}  // namespace fixture

@@ -55,6 +55,16 @@ TEST(MellintRules, R1UnorderedContainerExactLines) {
   for (const auto& f : fs) EXPECT_EQ(f.file, "src/app/r1_unordered.cpp");
 }
 
+TEST(MellintRules, R1ReplayFlowMapExactLines) {
+  // The hazard this PR's loader must avoid: an unordered map over flow
+  // ids whose iteration order feeds the (order-sensitive) anchor DAG.
+  const auto fs = lint_fixture("src/obs/r1_replay.cpp");
+  EXPECT_EQ(sketch(fs), (std::vector<std::string>{
+                            "unordered-container@18",
+                        }));
+  for (const auto& f : fs) EXPECT_EQ(f.file, "src/obs/r1_replay.cpp");
+}
+
 TEST(MellintRules, R2WallclockExactLines) {
   const auto fs = lint_fixture("src/app/r2_wallclock.cpp");
   EXPECT_EQ(sketch(fs), (std::vector<std::string>{
@@ -255,7 +265,7 @@ TEST(MellintFiles, CollectsSortedLintableSources) {
   const auto files =
       lint::collect_files({std::string(MEL_LINT_FIXTURE_DIR)}, &errors);
   EXPECT_TRUE(errors.empty());
-  ASSERT_EQ(files.size(), 8u);
+  ASSERT_EQ(files.size(), 9u);
   EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
   for (const auto& f : files) {
     EXPECT_NE(f.find("fixtures/src/"), std::string::npos) << f;

@@ -118,6 +118,23 @@ expect_crash_rejected("intra zero latency" "must be positive"
 expect_crash_rejected("intra negative bandwidth" "G \\(ns/byte\\) must be"
                       --intra-node-params 100,5,-0.1)
 
+# --sample-interval validation: the gauge period must be a strictly
+# positive integer, rejected at parse time before any graph work.
+expect_crash_rejected("zero sample interval" "--sample-interval: must be a positive"
+                      --trace /tmp/mel_si.json --sample-interval 0)
+expect_crash_rejected("negative sample interval" "--sample-interval: must be a positive"
+                      --trace /tmp/mel_si.json --sample-interval -5)
+expect_crash_rejected("non-numeric sample interval" "--sample-interval: expected an integer"
+                      --trace /tmp/mel_si.json --sample-interval abc)
+
+# Observability output paths are probed for writability up front: an
+# unwritable --trace/--metrics-jsonl destination is a usage error, not a
+# failure after the whole simulation ran.
+expect_crash_rejected("unwritable trace path" "--trace: cannot write"
+                      --trace /no-such-dir/out.trace.json)
+expect_crash_rejected("unwritable metrics path" "--metrics-jsonl: cannot write"
+                      --metrics-jsonl /no-such-dir/out.metrics.jsonl)
+
 # --threads 2 is accepted and the machine-readable summary is identical to
 # the sequential run — the CLI-level face of the bit-identical guarantee.
 execute_process(

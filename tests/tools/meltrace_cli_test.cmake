@@ -1,0 +1,121 @@
+# CLI contract for meltrace, run as a CTest script:
+#   * every subcommand (validate, summarize, matrix, diff, replay,
+#     critical) runs against a freshly recorded trace and exits 0,
+#   * unknown flags and unknown commands exit 2,
+#   * --json output is deterministic (byte-identical across invocations)
+#     and carries the expected schema tag,
+#   * `replay` with no --set is a fidelity self-check (exit 0 and says
+#     "fidelity exact") for NSR, RMA, and NCL traces,
+#   * `replay --set` rejects unknown parameters (exit 2) and accepts
+#     LogGP aliases (net.L_intra).
+# Invoked with -DMELSIM=<path> -DMELTRACE=<path>.
+if(NOT DEFINED MELSIM OR NOT DEFINED MELTRACE)
+  message(FATAL_ERROR "pass -DMELSIM=<melsim binary> -DMELTRACE=<meltrace binary>")
+endif()
+
+set(workdir "${CMAKE_CURRENT_BINARY_DIR}/meltrace_cli_work")
+file(MAKE_DIRECTORY ${workdir})
+
+# Record one self-contained trace per representative backend family.
+foreach(model NSR RMA NCL)
+  execute_process(
+    COMMAND ${MELSIM} --model ${model} --ranks 8 --gen er --verts 120
+            --edges 700 --trace ${workdir}/${model}.trace.json
+            --sample-interval 50000
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "recording ${model} trace failed (${code}): ${err}")
+  endif()
+endforeach()
+set(nsr ${workdir}/NSR.trace.json)
+set(rma ${workdir}/RMA.trace.json)
+set(ncl ${workdir}/NCL.trace.json)
+
+function(run_ok label expect_out)
+  execute_process(
+    COMMAND ${MELTRACE} ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "${label}: expected exit 0, got ${code}: ${err}")
+  endif()
+  if(NOT "${expect_out}" STREQUAL "" AND NOT out MATCHES "${expect_out}")
+    message(FATAL_ERROR "${label}: output missing '${expect_out}':\n${out}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+endfunction()
+
+function(run_rejected label)
+  execute_process(
+    COMMAND ${MELTRACE} ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 2)
+    message(FATAL_ERROR "${label}: expected exit 2, got ${code}: ${out}${err}")
+  endif()
+endfunction()
+
+# All six subcommands succeed against a real trace.
+run_ok("validate" "OK" validate ${nsr})
+run_ok("summarize" "validation: clean" summarize ${nsr} --top 5)
+run_ok("summarize json" "mel.summary/1" summarize ${nsr} --json)
+run_ok("matrix" "\"nranks\"" matrix ${nsr})
+run_ok("diff" "flows" diff ${nsr} ${ncl})
+run_ok("critical" "class breakdown" critical ${nsr} --top 5)
+run_ok("critical json" "mel.critical/1" critical ${nsr} --json)
+run_ok("help" "usage: meltrace" help)
+
+# Replay fidelity: exit 0 and an explicit "fidelity exact" verdict for
+# every backend family's trace.
+foreach(trace ${nsr} ${rma} ${ncl})
+  run_ok("replay fidelity ${trace}" "fidelity exact" replay ${trace})
+endforeach()
+run_ok("replay fidelity json" "\"mode\":\"fidelity\"" replay ${nsr} --json)
+
+# What-if replay: substituted params are echoed and re-priced; the LogGP
+# alias L_intra resolves to alpha_intra.
+run_ok("replay whatif" "what-if replay" replay ${nsr}
+       --set net.alpha_intra=1800)
+run_ok("replay whatif alias" "alpha_intra" replay ${nsr}
+       --set net.L_intra=1800)
+run_ok("replay whatif json" "\"mode\":\"whatif\"" replay ${nsr}
+       --set net.alpha_intra=1800 --json)
+
+# Determinism: JSON output is byte-identical across invocations.
+foreach(args "summarize;${nsr};--json" "critical;${nsr};--json"
+        "replay;${nsr};--json" "matrix;${nsr}")
+  execute_process(COMMAND ${MELTRACE} ${args} OUTPUT_VARIABLE out1
+                  RESULT_VARIABLE c1)
+  execute_process(COMMAND ${MELTRACE} ${args} OUTPUT_VARIABLE out2
+                  RESULT_VARIABLE c2)
+  if(NOT c1 EQUAL 0 OR NOT c2 EQUAL 0 OR NOT out1 STREQUAL out2)
+    message(FATAL_ERROR "nondeterministic output for: ${args}")
+  endif()
+endforeach()
+
+# Usage errors: unknown commands, unknown flags, malformed --set, and
+# missing operands all exit 2.
+run_rejected("unknown command" frobnicate ${nsr})
+run_rejected("validate unknown flag" validate ${nsr} --bogus)
+run_rejected("summarize unknown flag" summarize ${nsr} --bogus)
+run_rejected("matrix extra operand" matrix ${nsr} extra)
+run_rejected("diff one trace" diff ${nsr})
+run_rejected("replay unknown flag" replay ${nsr} --bogus)
+run_rejected("replay unknown param" replay ${nsr} --set net.bogus=1)
+run_rejected("replay malformed set" replay ${nsr} --set alpha_intra)
+run_rejected("replay bad value" replay ${nsr} --set alpha_intra=abc)
+run_rejected("replay fractional int field" replay ${nsr} --set o_send=1.5)
+run_rejected("replay missing trace" replay)
+run_rejected("critical unknown flag" critical ${nsr} --bogus)
+run_rejected("critical missing trace" critical)
+run_rejected("replay nonexistent file" replay ${workdir}/no-such.json)
+
+# A schema-less trace (plain Chrome JSON) is rejected with a pointer at
+# re-recording, not a crash.
+file(WRITE ${workdir}/bare.json "{\"traceEvents\":[]}")
+run_rejected("replay schema-less trace" replay ${workdir}/bare.json)
+run_rejected("critical schema-less trace" critical ${workdir}/bare.json)

@@ -8,8 +8,10 @@
 //
 // Run `melsim --help` for the full option list. Unknown options are
 // rejected (exit 2) instead of silently ignored.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -65,7 +67,7 @@ constexpr Flag kFlags[] = {
      "write machine-readable telemetry records (schema mel.metrics/1)"},
     {"sample-interval", "NS",
      "gauge sampling period in virtual ns for --trace/--metrics-jsonl "
-     "counter tracks (default 100000, 0=off)"},
+     "counter tracks (positive integer, default 100000)"},
     {"matrix", "FILE", "write the comm matrix (bytes) as CSV"},
     {"csv", "", "machine-readable one-line summary"},
     {"chaos-seed", "S", "fault-injection seed (default 1)"},
@@ -236,6 +238,46 @@ IntraNodeParams parse_intra_node(const std::string& text) {
   return out;
 }
 
+/// Parse --sample-interval (same exit-2 + --help convention): a strict
+/// positive integer — the gauge sampling period in virtual ns. A zero or
+/// negative period would make the sampler spin forever (or never fire),
+/// so it is a usage error, not a value to clamp.
+sim::Time parse_sample_interval(const std::string& text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    throw std::invalid_argument(
+        "--sample-interval: expected an integer ns period, got \"" + text +
+        "\" (run `melsim --help` for the format)");
+  }
+  if (v < 1) {
+    throw std::invalid_argument(
+        "--sample-interval: must be a positive ns period, got " + text +
+        " (run `melsim --help` for the format)");
+  }
+  return static_cast<sim::Time>(v);
+}
+
+/// Probe an output path for writability before the simulation runs: a
+/// bad --trace/--metrics-jsonl destination is a usage error (exit 2 +
+/// --help pointer), not something to discover after minutes of
+/// simulated work. The probe opens in append mode (leaving an existing
+/// file's bytes alone) and removes the file again if the probe itself
+/// created it.
+void require_writable(const char* flag, const std::string& path) {
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  const bool existed = probe != nullptr;
+  if (probe) std::fclose(probe);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) {
+    throw std::invalid_argument(std::string(flag) + ": cannot write \"" +
+                                path + "\": " + std::strerror(errno) +
+                                " (run `melsim --help` for the format)");
+  }
+  std::fclose(f);
+  if (!existed) std::remove(path.c_str());
+}
+
 /// Parse --ft-recovery (same exit-2 + --help convention).
 ft::Recovery parse_recovery(const std::string& name) {
   if (name == "shrink") return ft::Recovery::kShrink;
@@ -293,6 +335,16 @@ int run(const util::Cli& cli) {
   IntraNodeParams intra;
   const bool have_intra = cli.has("intra-node-params");
   if (have_intra) intra = parse_intra_node(cli.get("intra-node-params", ""));
+  sim::Time sample_interval = 100000;
+  if (cli.has("sample-interval")) {
+    sample_interval = parse_sample_interval(cli.get("sample-interval", ""));
+  }
+  if (cli.has("trace")) {
+    require_writable("--trace", cli.get("trace", "trace.json"));
+  }
+  if (cli.has("metrics-jsonl")) {
+    require_writable("--metrics-jsonl", cli.get("metrics-jsonl", ""));
+  }
 
   const bool host_profile =
       cli.get_bool("host-profile", false) || cli.has("host-profile-json");
@@ -313,8 +365,7 @@ int run(const util::Cli& cli) {
   cfg.collect_matrix = cli.has("matrix");
   if (want_obs) {
     cfg.tracer = &recorder;
-    cfg.sample_interval_ns =
-        static_cast<sim::Time>(cli.get_int("sample-interval", 100000));
+    cfg.sample_interval_ns = sample_interval;
     recorder.set_run_info(algo, match::model_name(model), ranks,
                           static_cast<std::uint64_t>(cli.get_int("seed", 1)));
   }
@@ -345,6 +396,9 @@ int run(const util::Cli& cli) {
   cfg.ft.checkpoint_ns =
       static_cast<sim::Time>(cli.get_int("ft-checkpoint-ns", cfg.ft.checkpoint_ns));
   cfg.ft.recovery = recovery;
+  // After every cfg.net mutation: the embedded params must be exactly
+  // what the machine prices with, or replay fidelity breaks.
+  if (want_obs) recorder.set_net_params(cfg.net);
 
   if (algo == "match") {
     match::RunResult run;
